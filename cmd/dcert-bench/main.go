@@ -1,0 +1,129 @@
+// Command dcert-bench regenerates the DCert paper's evaluation (§7): every
+// figure and table, at a CI-friendly "small" scale or the paper's "paper"
+// scale.
+//
+// Usage:
+//
+//	dcert-bench [-scale small|paper] [-exp all|params|fig7|fig8|fig9|fig10|fig11|headline|ablation|vendors]
+//
+// Output is a set of plain-text tables with the same rows/series the paper
+// plots; EXPERIMENTS.md records a reference run next to the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dcert/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dcert-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scaleFlag := flag.String("scale", "small", "experiment scale: small (seconds) or paper (minutes)")
+	expFlag := flag.String("exp", "all", "experiment: all, params, fig7, fig8, fig9, fig10, fig11, headline, ablation, vendors")
+	flag.Parse()
+
+	scale, err := bench.ParseScale(*scaleFlag)
+	if err != nil {
+		return err
+	}
+
+	runners := map[string]func() error{
+		"params": func() error {
+			bench.RunParams(scale).Fprint(os.Stdout)
+			return nil
+		},
+		"fig7": func() error {
+			res, err := bench.RunFig7(scale)
+			if err != nil {
+				return err
+			}
+			res.Table().Fprint(os.Stdout)
+			return nil
+		},
+		"fig8": func() error {
+			res, err := bench.RunFig8(scale)
+			if err != nil {
+				return err
+			}
+			res.Table().Fprint(os.Stdout)
+			return nil
+		},
+		"fig9": func() error {
+			res, err := bench.RunFig9(scale)
+			if err != nil {
+				return err
+			}
+			res.Table().Fprint(os.Stdout)
+			return nil
+		},
+		"fig10": func() error {
+			res, err := bench.RunFig10(scale)
+			if err != nil {
+				return err
+			}
+			res.Table().Fprint(os.Stdout)
+			return nil
+		},
+		"fig11": func() error {
+			res, err := bench.RunFig11(scale)
+			if err != nil {
+				return err
+			}
+			res.Table().Fprint(os.Stdout)
+			return nil
+		},
+		"headline": func() error {
+			res, err := bench.RunHeadline(scale)
+			if err != nil {
+				return err
+			}
+			res.Table().Fprint(os.Stdout)
+			return nil
+		},
+		"ablation": func() error {
+			res, err := bench.RunAblation(scale)
+			if err != nil {
+				return err
+			}
+			res.Table().Fprint(os.Stdout)
+			return nil
+		},
+		"vendors": func() error {
+			res, err := bench.RunVendors(scale)
+			if err != nil {
+				return err
+			}
+			res.Table().Fprint(os.Stdout)
+			return nil
+		},
+	}
+
+	order := []string{"params", "headline", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "vendors"}
+	if *expFlag != "all" {
+		r, ok := runners[*expFlag]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *expFlag)
+		}
+		order = []string{*expFlag}
+		_ = r
+	}
+
+	fmt.Printf("DCert evaluation reproduction (scale: %s)\n", scale)
+	for _, name := range order {
+		start := time.Now()
+		if err := runners[name](); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("  [%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

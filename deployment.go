@@ -1,0 +1,332 @@
+package dcert
+
+import (
+	"fmt"
+
+	"dcert/internal/attest"
+	"dcert/internal/consensus"
+	"dcert/internal/core"
+	"dcert/internal/network"
+	"dcert/internal/node"
+	"dcert/internal/query"
+	"dcert/internal/statedb"
+	"dcert/internal/vm"
+	"dcert/internal/workload"
+)
+
+// Config parameterizes a simulated DCert deployment. The zero value is a
+// usable KVStore deployment with light proof-of-work and no simulated
+// enclave overhead.
+type Config struct {
+	// Workload selects the Blockbench workload (default KVStore).
+	Workload Workload
+	// Contracts is the number of deployed contract instances (default 500,
+	// the paper's setting; tests often use fewer).
+	Contracts int
+	// Accounts is the sender-account pool size (default 64).
+	Accounts int
+	// Difficulty is the PoW difficulty in leading zero bits (default 8).
+	Difficulty uint32
+	// EnclaveCost configures the simulated SGX overheads (zero = none).
+	EnclaveCost EnclaveCostModel
+	// Seed makes the transaction stream reproducible.
+	Seed int64
+	// KeySpace bounds distinct user keys/accounts touched (default 100000).
+	KeySpace int
+	// CPUSortSize is the CPUHeavy per-tx sort size (default 1024).
+	CPUSortSize int
+	// IOOpsPerTx is the IOHeavy keys-per-tx count (default 16).
+	IOOpsPerTx int
+	// StateBackend selects the state commitment structure: statedb.BackendMPT
+	// (default) or statedb.BackendSMT (the paper's Fig. 4 binary tree).
+	StateBackend statedb.BackendKind
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workload == 0 {
+		c.Workload = KVStore
+	}
+	if c.Contracts == 0 {
+		c.Contracts = workload.DefaultContracts
+	}
+	if c.Accounts == 0 {
+		c.Accounts = 64
+	}
+	if c.Difficulty == 0 {
+		c.Difficulty = 8
+	}
+	return c
+}
+
+// Deployment is a complete simulated DCert network: an attestation
+// authority, a miner, an SGX-enabled certificate issuer, a query service
+// provider, and a pub/sub fabric connecting them — the system model of
+// Fig. 2.
+type Deployment struct {
+	cfg       Config
+	authority *attest.Authority
+	miner     *node.Miner
+	issuer    *core.Issuer
+	sp        *query.ServiceProvider
+	net       *network.Network
+	gen       *workload.Generator
+	params    consensus.Params
+}
+
+// newFullNode builds an independent full-node replica for the deployment's
+// genesis and workload.
+func (c Config) newFullNode(params consensus.Params) (*node.FullNode, error) {
+	reg := vm.NewRegistry()
+	if err := workload.Register(reg, c.Workload, c.Contracts); err != nil {
+		return nil, err
+	}
+	genesis, db, err := node.BuildGenesis(node.GenesisConfig{Time: 1, Consensus: params, Backend: c.StateBackend})
+	if err != nil {
+		return nil, err
+	}
+	return node.NewFullNode(genesis, db, reg, params)
+}
+
+// NewDeployment assembles a deployment per the config.
+func NewDeployment(cfg Config) (*Deployment, error) {
+	cfg = cfg.withDefaults()
+	params := consensus.Params{Difficulty: cfg.Difficulty}
+
+	authority, err := attest.NewAuthority()
+	if err != nil {
+		return nil, fmt.Errorf("dcert: deployment: %w", err)
+	}
+	platform, err := authority.NewPlatform()
+	if err != nil {
+		return nil, fmt.Errorf("dcert: deployment: %w", err)
+	}
+
+	minerNode, err := cfg.newFullNode(params)
+	if err != nil {
+		return nil, fmt.Errorf("dcert: miner node: %w", err)
+	}
+	ciNode, err := cfg.newFullNode(params)
+	if err != nil {
+		return nil, fmt.Errorf("dcert: CI node: %w", err)
+	}
+	spNode, err := cfg.newFullNode(params)
+	if err != nil {
+		return nil, fmt.Errorf("dcert: SP node: %w", err)
+	}
+
+	issuer, err := core.NewIssuer(ciNode, authority, platform, cfg.EnclaveCost)
+	if err != nil {
+		return nil, fmt.Errorf("dcert: issuer: %w", err)
+	}
+
+	accounts, err := workload.NewAccounts(cfg.Accounts)
+	if err != nil {
+		return nil, fmt.Errorf("dcert: accounts: %w", err)
+	}
+	gen, err := workload.NewGenerator(workload.Config{
+		Kind:        cfg.Workload,
+		Contracts:   cfg.Contracts,
+		Seed:        cfg.Seed,
+		KeySpace:    cfg.KeySpace,
+		CPUSortSize: cfg.CPUSortSize,
+		IOOpsPerTx:  cfg.IOOpsPerTx,
+	}, accounts)
+	if err != nil {
+		return nil, fmt.Errorf("dcert: generator: %w", err)
+	}
+
+	return &Deployment{
+		cfg:       cfg,
+		authority: authority,
+		miner:     node.NewMiner(minerNode),
+		issuer:    issuer,
+		sp:        query.NewServiceProvider(spNode),
+		net:       network.New(),
+		gen:       gen,
+		params:    params,
+	}, nil
+}
+
+// Authority returns the attestation authority (clients pin its public key).
+func (d *Deployment) Authority() *attest.Authority {
+	return d.authority
+}
+
+// Issuer returns the certificate issuer.
+func (d *Deployment) Issuer() *Issuer {
+	return d.issuer
+}
+
+// SP returns the query service provider.
+func (d *Deployment) SP() *ServiceProvider {
+	return d.sp
+}
+
+// Miner returns the block proposer.
+func (d *Deployment) Miner() *node.Miner {
+	return d.miner
+}
+
+// Net returns the simulated network fabric.
+func (d *Deployment) Net() *network.Network {
+	return d.net
+}
+
+// Params returns the consensus parameters.
+func (d *Deployment) Params() ConsensusParams {
+	return d.params
+}
+
+// NewSuperlightClient creates a client pinned to this deployment's
+// attestation authority and CI enclave measurement.
+func (d *Deployment) NewSuperlightClient() *SuperlightClient {
+	return core.NewSuperlightClient(d.authority.PublicKey(), d.issuer.Measurement(), d.params)
+}
+
+// NewLightClient creates a traditional light client pinned to the genesis —
+// the Fig. 7 baseline.
+func (d *Deployment) NewLightClient() *LightClient {
+	return NewTraditionalLightClient(d.miner.Store().Genesis(), d.params)
+}
+
+// GenerateBlockTxs produces one block's worth of signed workload
+// transactions.
+func (d *Deployment) GenerateBlockTxs(n int) ([]*Transaction, error) {
+	return d.gen.Block(n)
+}
+
+// MineAndCertify generates a block of n transactions, mines it, runs the CI
+// certification (Alg. 1), feeds the SP, and publishes both block and
+// certificate on the network. It returns the block and its certificate.
+func (d *Deployment) MineAndCertify(n int) (*Block, *Certificate, error) {
+	txs, err := d.gen.Block(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	blk, err := d.miner.Propose(txs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dcert: propose: %w", err)
+	}
+	cert, _, err := d.issuer.ProcessBlock(blk)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dcert: certify: %w", err)
+	}
+	if err := d.sp.ProcessBlock(blk); err != nil {
+		return nil, nil, fmt.Errorf("dcert: SP: %w", err)
+	}
+	if err := d.net.Publish(TopicBlocks, "miner", blk); err != nil {
+		return nil, nil, err
+	}
+	if err := d.net.Publish(TopicCerts, "ci", cert); err != nil {
+		return nil, nil, err
+	}
+	return blk, cert, nil
+}
+
+// AddIndex registers a two-level authenticated index with both the SP (real
+// maintenance) and the CI's trusted program (certification logic). Call it
+// before mining the blocks the index should cover.
+func (d *Deployment) AddIndex(mk func() (*AuthIndex, error)) (*AuthIndex, error) {
+	spIdx, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	ciIdx, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.sp.AddIndex(spIdx); err != nil {
+		return nil, err
+	}
+	if err := d.issuer.Program().RegisterUpdater(ciIdx); err != nil {
+		return nil, err
+	}
+	return spIdx, nil
+}
+
+// MineAndCertifyHierarchical is MineAndCertify for deployments with
+// authenticated indexes: the CI runs the hierarchical scheme (Alg. 5),
+// producing the block certificate plus one index certificate per registered
+// index (jobs prepared from the SP's replicas).
+func (d *Deployment) MineAndCertifyHierarchical(n int, indexNames []string) (*Block, *Certificate, []*Certificate, error) {
+	txs, err := d.gen.Block(n)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	blk, err := d.miner.Propose(txs)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("dcert: propose: %w", err)
+	}
+	jobs, err := d.PrepareIndexJobs(blk, indexNames)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	blkCert, idxCerts, _, err := d.issuer.ProcessBlockHierarchical(blk, jobs)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("dcert: certify: %w", err)
+	}
+	if err := d.sp.ProcessBlock(blk); err != nil {
+		return nil, nil, nil, fmt.Errorf("dcert: SP: %w", err)
+	}
+	return blk, blkCert, idxCerts, nil
+}
+
+// PrepareIndexJobs builds the per-index certification inputs from the SP's
+// pre-block index state.
+func (d *Deployment) PrepareIndexJobs(blk *Block, indexNames []string) ([]*IndexJob, error) {
+	writes, err := d.sp.Node().ValidateBlock(blk)
+	if err != nil {
+		return nil, fmt.Errorf("dcert: validate for index jobs: %w", err)
+	}
+	jobs := make([]*IndexJob, 0, len(indexNames))
+	for _, name := range indexNames {
+		ix, err := d.sp.Index(name)
+		if err != nil {
+			return nil, err
+		}
+		prevRoot, err := ix.Root()
+		if err != nil {
+			return nil, err
+		}
+		witness, err := ix.UpdateWitness(blk, writes)
+		if err != nil {
+			return nil, err
+		}
+		newRoot, err := ix.Replay(prevRoot, witness, blk, writes)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, &IndexJob{Updater: name, NewRoot: newRoot, Witness: witness})
+	}
+	return jobs, nil
+}
+
+// NewTraditionalLightClient creates the linear-cost baseline client.
+func NewTraditionalLightClient(genesis Hash, params ConsensusParams) *LightClient {
+	return newLightClient(genesis, params)
+}
+
+// AddIssuer provisions an additional certificate issuer on the same chain
+// and attestation authority — the multi-CI setting of §4.3, where a
+// superlight client may switch certification services and must check the new
+// CI's attestation report once. The new CI runs the same trusted program
+// (same measurement) in its own enclave with its own sealed key, and builds
+// its own recursive certificate chain from genesis.
+//
+// Feed it blocks with Issuer.ProcessBlock; MineAndCertify only drives the
+// deployment's primary issuer.
+func (d *Deployment) AddIssuer() (*Issuer, error) {
+	platform, err := d.authority.NewPlatform()
+	if err != nil {
+		return nil, fmt.Errorf("dcert: add issuer: %w", err)
+	}
+	n, err := d.cfg.newFullNode(d.params)
+	if err != nil {
+		return nil, fmt.Errorf("dcert: add issuer node: %w", err)
+	}
+	issuer, err := core.NewIssuer(n, d.authority, platform, d.cfg.EnclaveCost)
+	if err != nil {
+		return nil, fmt.Errorf("dcert: add issuer: %w", err)
+	}
+	return issuer, nil
+}

@@ -1,0 +1,127 @@
+package dcert_test
+
+import (
+	"fmt"
+	"log"
+
+	"dcert"
+)
+
+// Example shows the minimal DCert flow: mine a block, certify it in the
+// enclave, and validate the whole chain as a superlight client.
+func Example() {
+	dep, err := dcert.NewDeployment(dcert.Config{
+		Workload:  dcert.KVStore,
+		Contracts: 4,
+		Accounts:  8,
+		KeySpace:  20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := dep.NewSuperlightClient()
+
+	for i := 0; i < 3; i++ {
+		blk, cert, err := dep.MineAndCertify(10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := client.ValidateChain(&blk.Header, cert); err != nil {
+			log.Fatal(err)
+		}
+	}
+	hdr, _ := client.Latest()
+	fmt.Printf("validated chain height %d with %d bytes of client state\n",
+		hdr.Height, client.StorageSize())
+	// Output: validated chain height 3 with 3040 bytes of client state
+}
+
+// ExampleVerifyHistorical shows a verified historical query: the client
+// checks both integrity and completeness against an enclave-certified index
+// root.
+func ExampleVerifyHistorical() {
+	dep, err := dcert.NewDeployment(dcert.Config{
+		Workload:  dcert.KVStore,
+		Contracts: 2,
+		Accounts:  4,
+		KeySpace:  5,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dep.AddIndex(func() (*dcert.AuthIndex, error) {
+		return dcert.NewHistoricalIndex("hist", "ct/")
+	}); err != nil {
+		log.Fatal(err)
+	}
+	client := dep.NewSuperlightClient()
+	for i := 0; i < 4; i++ {
+		blk, blkCert, idxCerts, err := dep.MineAndCertifyHierarchical(10, []string{"hist"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := client.ValidateChain(&blk.Header, blkCert); err != nil {
+			log.Fatal(err)
+		}
+		ix, err := dep.SP().Index("hist")
+		if err != nil {
+			log.Fatal(err)
+		}
+		root, err := ix.Root()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := client.ValidateIndex("hist", &blk.Header, root, idxCerts[0]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	root, _, err := client.IndexRoot("hist")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dep.SP().HistoricalQuery("hist", "ct/unwritten-key", 0, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dcert.VerifyHistorical(root, res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verified: %d versions of an unwritten key (proven absent)\n", len(res.Entries))
+	// Output: verified: 0 versions of an unwritten key (proven absent)
+}
+
+// ExampleVerifyTx shows a verified transaction-inclusion read against a
+// certified header.
+func ExampleVerifyTx() {
+	dep, err := dcert.NewDeployment(dcert.Config{
+		Workload:  dcert.KVStore,
+		Contracts: 2,
+		Accounts:  4,
+		KeySpace:  5,
+		Seed:      2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := dep.NewSuperlightClient()
+	blk, cert, err := dep.MineAndCertify(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.ValidateChain(&blk.Header, cert); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := dep.SP().TxQuery(blk.Hash(), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hdr, _ := client.Latest()
+	if err := dcert.VerifyTx(hdr, res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tx %d of block %d proven included\n", res.Index, hdr.Height)
+	// Output: tx 2 of block 1 proven included
+}

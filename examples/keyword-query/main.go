@@ -1,0 +1,105 @@
+// Keyword-query: conjunctive keyword search over blockchain transactions
+// (the paper's §5.4, q = [Stock AND Bank] example) with verified results.
+//
+// An inverted keyword index (keyword → authenticated posting list) is
+// maintained by the untrusted service provider and certified by the CI's
+// enclave on every block. The superlight client runs a conjunctive query and
+// verifies each posting list is complete before intersecting them, so the SP
+// can neither fabricate nor hide matching transactions.
+//
+// Run with:
+//
+//	go run ./examples/keyword-query
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcert"
+)
+
+func main() {
+	dep, err := dcert.NewDeployment(dcert.Config{
+		Workload:  dcert.SmallBank,
+		Contracts: 3,
+		Accounts:  12,
+		KeySpace:  30,
+		Seed:      5,
+	})
+	if err != nil {
+		log.Fatalf("deployment: %v", err)
+	}
+	if _, err := dep.AddIndex(func() (*dcert.AuthIndex, error) {
+		return dcert.NewKeywordIndex("keywords")
+	}); err != nil {
+		log.Fatalf("add index: %v", err)
+	}
+	client := dep.NewSuperlightClient()
+
+	fmt.Println("building a chain with a certified keyword index...")
+	for i := 0; i < 15; i++ {
+		blk, blkCert, idxCerts, err := dep.MineAndCertifyHierarchical(25, []string{"keywords"})
+		if err != nil {
+			log.Fatalf("block %d: %v", i, err)
+		}
+		if err := client.ValidateChain(&blk.Header, blkCert); err != nil {
+			log.Fatalf("chain validation: %v", err)
+		}
+		ix, err := dep.SP().Index("keywords")
+		if err != nil {
+			log.Fatalf("index: %v", err)
+		}
+		root, err := ix.Root()
+		if err != nil {
+			log.Fatalf("root: %v", err)
+		}
+		if err := client.ValidateIndex("keywords", &blk.Header, root, idxCerts[0]); err != nil {
+			log.Fatalf("index certificate: %v", err)
+		}
+	}
+	certifiedRoot, _, err := client.IndexRoot("keywords")
+	if err != nil {
+		log.Fatalf("index root: %v", err)
+	}
+
+	// Conjunctive query: transactions that are send_payment calls on a
+	// specific contract instance (both keywords must match one tx).
+	queries := [][]string{
+		{"send_payment"},
+		{"SB-0001", "send_payment"},
+		{"SB-0001", "amalgamate"},
+		{"deposit_check", "update_saving"}, // mutually exclusive → no hits
+	}
+	for _, q := range queries {
+		res, err := dep.SP().KeywordQuery("keywords", q)
+		if err != nil {
+			log.Fatalf("query %v: %v", q, err)
+		}
+		if err := dcert.VerifyKeyword(certifiedRoot, res); err != nil {
+			log.Fatalf("verification failed for %v: %v", q, err)
+		}
+		fmt.Printf("\nquery %v: %d verified matches (proof %d B)\n", q, len(res.Matches), res.ProofSize())
+		for i, m := range res.Matches {
+			if i >= 3 {
+				fmt.Printf("  ... and %d more\n", len(res.Matches)-3)
+				break
+			}
+			fmt.Printf("  block %d, tx %s\n", m.Version>>20, m.TxHash)
+		}
+	}
+
+	// A forged match is rejected by the verifier.
+	res, err := dep.SP().KeywordQuery("keywords", []string{"send_payment"})
+	if err != nil {
+		log.Fatalf("query: %v", err)
+	}
+	if len(res.Matches) > 1 {
+		res.Matches = res.Matches[:len(res.Matches)-1] // SP hides a match
+		if err := dcert.VerifyKeyword(certifiedRoot, res); err != nil {
+			fmt.Printf("\nhiding a matching transaction is caught: %v\n", err)
+		} else {
+			log.Fatal("BUG: hidden match went undetected")
+		}
+	}
+}

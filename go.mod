@@ -1,0 +1,3 @@
+module dcert
+
+go 1.23

@@ -1,0 +1,214 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+
+	"dcert/internal/chash"
+)
+
+func newAuthority(t *testing.T) *Authority {
+	t.Helper()
+	a, err := NewAuthority()
+	if err != nil {
+		t.Fatalf("NewAuthority: %v", err)
+	}
+	return a
+}
+
+func TestQuoteAttestVerifyRoundTrip(t *testing.T) {
+	a := newAuthority(t)
+	p, err := a.NewPlatform()
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	m := chash.Leaf([]byte("program"))
+	rd := chash.Leaf([]byte("pk-fingerprint"))
+
+	q, err := p.SignQuote(m, rd)
+	if err != nil {
+		t.Fatalf("SignQuote: %v", err)
+	}
+	rep, err := a.Attest(q)
+	if err != nil {
+		t.Fatalf("Attest: %v", err)
+	}
+	if err := rep.Verify(a.PublicKey(), m, rd); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestAttestRejectsUnknownPlatform(t *testing.T) {
+	a := newAuthority(t)
+	other := newAuthority(t)
+	p, err := other.NewPlatform()
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	q, err := p.SignQuote(chash.Leaf([]byte("m")), chash.Leaf([]byte("d")))
+	if err != nil {
+		t.Fatalf("SignQuote: %v", err)
+	}
+	if _, err := a.Attest(q); !errors.Is(err, ErrUnknownPlatform) {
+		t.Fatalf("want ErrUnknownPlatform, got %v", err)
+	}
+}
+
+func TestAttestRejectsTamperedQuote(t *testing.T) {
+	a := newAuthority(t)
+	p, err := a.NewPlatform()
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	q, err := p.SignQuote(chash.Leaf([]byte("m")), chash.Leaf([]byte("d")))
+	if err != nil {
+		t.Fatalf("SignQuote: %v", err)
+	}
+	q.Measurement = chash.Leaf([]byte("evil")) // breaks the quote signature
+	if _, err := a.Attest(q); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("want ErrBadQuote, got %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongAuthority(t *testing.T) {
+	a := newAuthority(t)
+	b := newAuthority(t)
+	p, err := a.NewPlatform()
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	m, rd := chash.Leaf([]byte("m")), chash.Leaf([]byte("d"))
+	q, err := p.SignQuote(m, rd)
+	if err != nil {
+		t.Fatalf("SignQuote: %v", err)
+	}
+	rep, err := a.Attest(q)
+	if err != nil {
+		t.Fatalf("Attest: %v", err)
+	}
+	if err := rep.Verify(b.PublicKey(), m, rd); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("want ErrBadReport, got %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongMeasurement(t *testing.T) {
+	a := newAuthority(t)
+	p, err := a.NewPlatform()
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	m, rd := chash.Leaf([]byte("m")), chash.Leaf([]byte("d"))
+	q, err := p.SignQuote(m, rd)
+	if err != nil {
+		t.Fatalf("SignQuote: %v", err)
+	}
+	rep, err := a.Attest(q)
+	if err != nil {
+		t.Fatalf("Attest: %v", err)
+	}
+	if err := rep.Verify(a.PublicKey(), chash.Leaf([]byte("other")), rd); !errors.Is(err, ErrMeasurementMismatch) {
+		t.Fatalf("want ErrMeasurementMismatch, got %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongReportData(t *testing.T) {
+	a := newAuthority(t)
+	p, err := a.NewPlatform()
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	m, rd := chash.Leaf([]byte("m")), chash.Leaf([]byte("d"))
+	q, err := p.SignQuote(m, rd)
+	if err != nil {
+		t.Fatalf("SignQuote: %v", err)
+	}
+	rep, err := a.Attest(q)
+	if err != nil {
+		t.Fatalf("Attest: %v", err)
+	}
+	if err := rep.Verify(a.PublicKey(), m, chash.Leaf([]byte("forged-key"))); !errors.Is(err, ErrReportDataMismatch) {
+		t.Fatalf("want ErrReportDataMismatch, got %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedCertChain(t *testing.T) {
+	a := newAuthority(t)
+	p, err := a.NewPlatform()
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	m, rd := chash.Leaf([]byte("m")), chash.Leaf([]byte("d"))
+	q, err := p.SignQuote(m, rd)
+	if err != nil {
+		t.Fatalf("SignQuote: %v", err)
+	}
+	rep, err := a.Attest(q)
+	if err != nil {
+		t.Fatalf("Attest: %v", err)
+	}
+	rep.CertChain[0] ^= 0xff
+	if err := rep.Verify(a.PublicKey(), m, rd); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("want ErrBadReport, got %v", err)
+	}
+}
+
+func TestReportMarshalRoundTrip(t *testing.T) {
+	a := newAuthority(t)
+	p, err := a.NewPlatform()
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	m, rd := chash.Leaf([]byte("m")), chash.Leaf([]byte("d"))
+	q, err := p.SignQuote(m, rd)
+	if err != nil {
+		t.Fatalf("SignQuote: %v", err)
+	}
+	rep, err := a.Attest(q)
+	if err != nil {
+		t.Fatalf("Attest: %v", err)
+	}
+	parsed, err := UnmarshalReport(rep.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalReport: %v", err)
+	}
+	if err := parsed.Verify(a.PublicKey(), m, rd); err != nil {
+		t.Fatalf("round-tripped report must verify: %v", err)
+	}
+	if rep.EncodedSize() != len(rep.Marshal()) {
+		t.Fatal("EncodedSize mismatch")
+	}
+}
+
+func TestReportHasRealisticSize(t *testing.T) {
+	a := newAuthority(t)
+	p, err := a.NewPlatform()
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	q, err := p.SignQuote(chash.Leaf([]byte("m")), chash.Leaf([]byte("d")))
+	if err != nil {
+		t.Fatalf("SignQuote: %v", err)
+	}
+	rep, err := a.Attest(q)
+	if err != nil {
+		t.Fatalf("Attest: %v", err)
+	}
+	if rep.EncodedSize() < 2048 || rep.EncodedSize() > 4096 {
+		t.Fatalf("report size %d outside the realistic IAS range", rep.EncodedSize())
+	}
+}
+
+func TestPlatformIDsUnique(t *testing.T) {
+	a := newAuthority(t)
+	seen := make(map[string]bool)
+	for i := 0; i < 10; i++ {
+		p, err := a.NewPlatform()
+		if err != nil {
+			t.Fatalf("NewPlatform: %v", err)
+		}
+		if seen[p.ID()] {
+			t.Fatal("duplicate platform id")
+		}
+		seen[p.ID()] = true
+	}
+}

@@ -1,0 +1,46 @@
+package attest
+
+import (
+	"testing"
+
+	"dcert/internal/chash"
+)
+
+func FuzzUnmarshalReport(f *testing.F) {
+	a, err := NewAuthority()
+	if err != nil {
+		f.Fatalf("NewAuthority: %v", err)
+	}
+	p, err := a.NewPlatform()
+	if err != nil {
+		f.Fatalf("NewPlatform: %v", err)
+	}
+	m := chash.Leaf([]byte("program"))
+	rd := chash.Leaf([]byte("pk"))
+	q, err := p.SignQuote(m, rd)
+	if err != nil {
+		f.Fatalf("SignQuote: %v", err)
+	}
+	rep, err := a.Attest(q)
+	if err != nil {
+		f.Fatalf("Attest: %v", err)
+	}
+	f.Add(rep.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5})
+
+	genuine := string(rep.Marshal())
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		parsed, err := UnmarshalReport(raw)
+		if err != nil {
+			return
+		}
+		if string(parsed.Marshal()) != string(raw) {
+			t.Fatal("non-canonical report decode")
+		}
+		// Only the genuine bytes may verify.
+		if err := parsed.Verify(a.PublicKey(), m, rd); err == nil && string(raw) != genuine {
+			t.Fatal("a mutated report verified")
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dcert"
+)
+
+// Fig10Point is one (scheme, #indexes) sample.
+type Fig10Point struct {
+	// Scheme is "augmented" or "hierarchical".
+	Scheme string
+	// Indexes is the number of authenticated indexes certified per block.
+	Indexes int
+	// Construction is the average per-block CI time in seconds (enclave
+	// calls only — the cost the paper's Fig. 10 compares).
+	Construction float64
+	// Ecalls is the average number of enclave entries per block.
+	Ecalls float64
+}
+
+// Fig10Result holds the multi-index certification comparison.
+type Fig10Result struct {
+	Points []Fig10Point
+}
+
+// fig10Deployment builds a KVStore deployment with n historical indexes
+// registered under distinct names.
+func fig10Deployment(p Params, n int) (*dcert.Deployment, []string, error) {
+	dep, err := dcert.NewDeployment(dcert.Config{
+		Workload:    dcert.KVStore,
+		Contracts:   p.Contracts,
+		Accounts:    p.Accounts,
+		Difficulty:  4,
+		EnclaveCost: dcert.DefaultEnclaveCostModel(),
+		Seed:        int64(n),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("hist-%02d", i)
+		name := names[i]
+		if _, err := dep.AddIndex(func() (*dcert.AuthIndex, error) {
+			return dcert.NewHistoricalIndex(name, "ct/")
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	return dep, names, nil
+}
+
+// runScheme measures one scheme at one index count.
+func runScheme(p Params, scheme string, indexes, blockSize, blocks int) (Fig10Point, error) {
+	dep, names, err := fig10Deployment(p, indexes)
+	if err != nil {
+		return Fig10Point{}, err
+	}
+	var totalSec float64
+	var ecallsBefore, ecallsAfter uint64
+	ecallsBefore = dep.Issuer().Enclave().Stats().Ecalls
+	for i := 0; i < blocks; i++ {
+		txs, err := dep.GenerateBlockTxs(blockSize)
+		if err != nil {
+			return Fig10Point{}, err
+		}
+		blk, err := dep.Miner().Propose(txs)
+		if err != nil {
+			return Fig10Point{}, err
+		}
+		jobs, err := dep.PrepareIndexJobs(blk, names)
+		if err != nil {
+			return Fig10Point{}, err
+		}
+		start := time.Now()
+		switch scheme {
+		case "augmented":
+			if _, _, err := dep.Issuer().ProcessBlockAugmented(blk, jobs); err != nil {
+				return Fig10Point{}, fmt.Errorf("bench: augmented: %w", err)
+			}
+		case "hierarchical":
+			if _, _, _, err := dep.Issuer().ProcessBlockHierarchical(blk, jobs); err != nil {
+				return Fig10Point{}, fmt.Errorf("bench: hierarchical: %w", err)
+			}
+		default:
+			return Fig10Point{}, fmt.Errorf("bench: unknown scheme %q", scheme)
+		}
+		totalSec += time.Since(start).Seconds()
+		if err := dep.SP().ProcessBlock(blk); err != nil {
+			return Fig10Point{}, err
+		}
+	}
+	ecallsAfter = dep.Issuer().Enclave().Stats().Ecalls
+	return Fig10Point{
+		Scheme:       scheme,
+		Indexes:      indexes,
+		Construction: totalSec / float64(blocks),
+		Ecalls:       float64(ecallsAfter-ecallsBefore) / float64(blocks),
+	}, nil
+}
+
+// RunFig10 measures Fig. 10: augmented vs hierarchical certificate
+// construction as the number of authenticated indexes grows. The augmented
+// scheme re-runs full block verification inside the enclave for every index;
+// the hierarchical scheme verifies the block once and reuses its certificate.
+func RunFig10(scale Scale) (*Fig10Result, error) {
+	p := ParamsFor(scale)
+	res := &Fig10Result{}
+	for _, scheme := range []string{"augmented", "hierarchical"} {
+		for _, n := range p.IndexCounts {
+			pt, err := runScheme(p, scheme, n, p.DefaultBlockSize, p.CertBlocks)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig10Result) Table() *Table {
+	t := &Table{
+		Title: "Fig. 10 — augmented vs hierarchical certificate construction vs #indexes",
+		Note:  "augmented re-executes block verification per index; hierarchical verifies the block certificate instead (one extra Ecall)",
+		Columns: []string{
+			"scheme", "#indexes", "construction (ms/block)", "ecalls/block",
+		},
+	}
+	for _, pt := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			pt.Scheme, fmt.Sprintf("%d", pt.Indexes),
+			ms(pt.Construction), fmt.Sprintf("%.0f", pt.Ecalls),
+		})
+	}
+	return t
+}

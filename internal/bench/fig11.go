@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dcert/internal/consensus"
+	"dcert/internal/node"
+	"dcert/internal/query"
+	"dcert/internal/vm"
+	"dcert/internal/workload"
+)
+
+// Fig11Point is one (index design, window) sample.
+type Fig11Point struct {
+	// Design is "dcert" (MPT + MB-tree) or "lineagechain" (skip list).
+	Design string
+	// WindowBlocks is the queried time-window size in blocks.
+	WindowBlocks int
+	// Latency is the average end-to-end query time in seconds (SP query +
+	// client verification).
+	Latency float64
+	// ProofSize is the average integrity-proof size in bytes.
+	ProofSize int
+	// Results is the average result-set size.
+	Results float64
+}
+
+// Fig11Result holds the verifiable-query comparison.
+type Fig11Result struct {
+	Points []Fig11Point
+}
+
+// fig11Setup builds the paper's query workload: QueryTuples key-value tuples
+// updated continuously for QueryChainBlocks blocks, indexed by both the
+// DCert two-level index and the LineageChain skip-list baseline.
+type fig11Setup struct {
+	sp       *query.ServiceProvider
+	twoLevel *query.TwoLevel
+	baseline *query.SkipListIndex
+	keys     []string
+	tip      uint64
+}
+
+func buildFig11(p Params) (*fig11Setup, error) {
+	params := consensus.Params{Difficulty: 0} // query benches don't need PoW
+	const contracts = 1                       // one KV contract keeps key paths aligned
+	mk := func() (*node.FullNode, error) {
+		reg := vm.NewRegistry()
+		if err := workload.Register(reg, workload.KVStore, contracts); err != nil {
+			return nil, err
+		}
+		genesis, db, err := node.BuildGenesis(node.GenesisConfig{Time: 1, Consensus: params})
+		if err != nil {
+			return nil, err
+		}
+		return node.NewFullNode(genesis, db, reg, params)
+	}
+	minerNode, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	spNode, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	miner := node.NewMiner(minerNode)
+	sp := query.NewServiceProvider(spNode)
+
+	twoLevel, err := query.NewHistoricalIndex("dcert-hist", "ct/")
+	if err != nil {
+		return nil, err
+	}
+	if err := sp.AddIndex(twoLevel); err != nil {
+		return nil, err
+	}
+	baseline := query.NewSkipListIndex("lineage-hist", "ct/")
+
+	accounts, err := workload.NewAccounts(8)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(workload.Config{
+		Kind:      workload.KVStore,
+		Contracts: contracts,
+		Seed:      42,
+		KeySpace:  p.QueryTuples,
+	}, accounts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Paper setup: create the tuples, then issue update transactions until
+	// the ledger holds QueryChainBlocks blocks.
+	txPerBlock := 20
+	for i := 0; i < p.QueryChainBlocks; i++ {
+		txs, err := gen.Block(txPerBlock)
+		if err != nil {
+			return nil, err
+		}
+		blk, err := miner.Propose(txs)
+		if err != nil {
+			return nil, err
+		}
+		writes, err := sp.Node().ValidateBlock(blk)
+		if err != nil {
+			return nil, err
+		}
+		if err := sp.ProcessBlock(blk); err != nil {
+			return nil, err
+		}
+		if err := baseline.Apply(blk, writes); err != nil {
+			return nil, err
+		}
+	}
+
+	// Query keys: the KV user keys, as stored under the contract prefix.
+	keys := make([]string, 0, 32)
+	for i := 0; i < 32; i++ {
+		keys = append(keys, fmt.Sprintf("ct/%s/kv/user-key-%d", workload.ContractName(workload.KVStore, 0), i*7%p.QueryTuples))
+	}
+	return &fig11Setup{
+		sp:       sp,
+		twoLevel: twoLevel,
+		baseline: baseline,
+		keys:     keys,
+		tip:      sp.Node().Tip().Header.Height,
+	}, nil
+}
+
+// RunFig11 measures Fig. 11: historical account queries with increasing time
+// windows ending at the latest block, comparing DCert's two-level
+// MPT + Merkle B-tree index against the LineageChain-style authenticated
+// skip list — both for query latency (a) and proof size (b).
+func RunFig11(scale Scale) (*Fig11Result, error) {
+	p := ParamsFor(scale)
+	setup, err := buildFig11(p)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{}
+
+	twoRoot, err := setup.twoLevel.Root()
+	if err != nil {
+		return nil, err
+	}
+	baseRoot, err := setup.baseline.Root()
+	if err != nil {
+		return nil, err
+	}
+
+	for _, w := range p.WindowBlocks {
+		lo := uint64(0)
+		if uint64(w) < setup.tip {
+			lo = setup.tip - uint64(w)
+		}
+		hi := setup.tip
+
+		// DCert two-level index.
+		var dcertSec float64
+		var dcertProof, dcertResults int
+		for q := 0; q < p.QueryRepeat; q++ {
+			key := setup.keys[q%len(setup.keys)]
+			start := time.Now()
+			hres, err := setup.sp.HistoricalQuery("dcert-hist", key, lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			if err := query.VerifyHistorical(twoRoot, hres); err != nil {
+				return nil, fmt.Errorf("bench: fig11 verify: %w", err)
+			}
+			dcertSec += time.Since(start).Seconds()
+			dcertProof += hres.Proof.EncodedSize()
+			dcertResults += len(hres.Entries)
+		}
+
+		// LineageChain baseline.
+		var baseSec float64
+		var baseProof, baseResults int
+		for q := 0; q < p.QueryRepeat; q++ {
+			key := setup.keys[q%len(setup.keys)]
+			start := time.Now()
+			entries, proof, err := setup.baseline.QueryRange(key, lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			if err := query.VerifySkipRange(baseRoot, key, lo, hi, entries, proof); err != nil {
+				return nil, fmt.Errorf("bench: fig11 baseline verify: %w", err)
+			}
+			baseSec += time.Since(start).Seconds()
+			baseProof += proof.EncodedSize()
+			baseResults += len(entries)
+		}
+
+		n := float64(p.QueryRepeat)
+		res.Points = append(res.Points,
+			Fig11Point{
+				Design: "dcert", WindowBlocks: w,
+				Latency: dcertSec / n, ProofSize: dcertProof / p.QueryRepeat,
+				Results: float64(dcertResults) / n,
+			},
+			Fig11Point{
+				Design: "lineagechain", WindowBlocks: w,
+				Latency: baseSec / n, ProofSize: baseProof / p.QueryRepeat,
+				Results: float64(baseResults) / n,
+			},
+		)
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig11Result) Table() *Table {
+	t := &Table{
+		Title: "Fig. 11 — verifiable historical queries: DCert two-level index vs LineageChain skip list",
+		Note:  "windows end at the latest block; latency includes SP query + client verification",
+		Columns: []string{
+			"design", "window (blocks)", "latency (ms)", "proof size (KB)", "avg results",
+		},
+	}
+	for _, pt := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			pt.Design, fmt.Sprintf("%d", pt.WindowBlocks),
+			ms(pt.Latency), kb(pt.ProofSize), fmt.Sprintf("%.1f", pt.Results),
+		})
+	}
+	return t
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dcert"
+)
+
+// ethHeaderBytes is the Ethereum header size the paper's footnote 1 uses to
+// derive the 7.93 GB light-client figure (508 B × 1.56 × 10⁷ blocks).
+const ethHeaderBytes = 508
+
+// Fig7Point is one chain-length sample.
+type Fig7Point struct {
+	// ChainLength in blocks.
+	ChainLength int
+	// Measured reports whether the row was measured on a real chain (vs
+	// analytically extended).
+	Measured bool
+	// LightStorage / SuperStorage in bytes.
+	LightStorage int
+	SuperStorage int
+	// LightValidate / SuperValidate in seconds.
+	LightValidate float64
+	SuperValidate float64
+}
+
+// Fig7Result holds the bootstrapping-cost series.
+type Fig7Result struct {
+	// Points are ordered by chain length.
+	Points []Fig7Point
+}
+
+// RunFig7 measures Fig. 7 (a: storage, b: validation time): a traditional
+// light client syncs and validates every header, the superlight client
+// validates one certificate — at several chain lengths, plus analytic rows
+// extending the measured per-header costs to Ethereum scale (1.56 × 10⁷
+// blocks, the paper's September 2022 reference point).
+func RunFig7(scale Scale) (*Fig7Result, error) {
+	p := ParamsFor(scale)
+	dep, err := dcert.NewDeployment(dcert.Config{
+		Workload:   dcert.DoNothing, // Fig. 7 varies chain length, not payload
+		Contracts:  p.Contracts,
+		Accounts:   p.Accounts,
+		Difficulty: 4,
+		Seed:       1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	maxLen := p.ChainLengths[len(p.ChainLengths)-1]
+	type tipState struct {
+		hdr  *dcert.Header
+		cert *dcert.Certificate
+	}
+	tips := make(map[int]tipState, len(p.ChainLengths))
+	for i := 1; i <= maxLen; i++ {
+		blk, cert, err := dep.MineAndCertify(1)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig7 mine %d: %w", i, err)
+		}
+		for _, l := range p.ChainLengths {
+			if i == l {
+				hdr := blk.Header
+				tips[l] = tipState{hdr: &hdr, cert: cert}
+			}
+		}
+	}
+	headers := dep.Miner().Store().Headers()
+
+	res := &Fig7Result{}
+	var perHeaderSec float64
+	for _, l := range p.ChainLengths {
+		// Traditional light client: full header sync + validation.
+		lc := dep.NewLightClient()
+		start := time.Now()
+		if err := lc.Sync(headers[:l+1]); err != nil {
+			return nil, fmt.Errorf("bench: fig7 light sync: %w", err)
+		}
+		lightTime := time.Since(start).Seconds()
+		perHeaderSec = lightTime / float64(l+1)
+
+		// Superlight client: validate the single latest certificate from a
+		// cold start (full attestation-report path).
+		sc := dep.NewSuperlightClient()
+		tip := tips[l]
+		start = time.Now()
+		if err := sc.ValidateChain(tip.hdr, tip.cert); err != nil {
+			return nil, fmt.Errorf("bench: fig7 superlight validate: %w", err)
+		}
+		superTime := time.Since(start).Seconds()
+
+		res.Points = append(res.Points, Fig7Point{
+			ChainLength:   l,
+			Measured:      true,
+			LightStorage:  lc.StorageSize(),
+			SuperStorage:  sc.StorageSize(),
+			LightValidate: lightTime,
+			SuperValidate: superTime,
+		})
+	}
+
+	// Analytic extension to Ethereum scale using measured per-header costs
+	// and the paper's 508 B header size.
+	superStorage := res.Points[len(res.Points)-1].SuperStorage
+	superValidate := res.Points[len(res.Points)-1].SuperValidate
+	for _, l := range []int{100000, 1000000, 15600000} {
+		res.Points = append(res.Points, Fig7Point{
+			ChainLength:   l,
+			Measured:      false,
+			LightStorage:  l * ethHeaderBytes,
+			SuperStorage:  superStorage,
+			LightValidate: perHeaderSec * float64(l),
+			SuperValidate: superValidate,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig7Result) Table() *Table {
+	t := &Table{
+		Title: "Fig. 7 — bootstrapping cost: traditional light client vs DCert superlight client",
+		Note:  "rows marked '(model)' extend measured per-header cost to Ethereum scale (508 B headers)",
+		Columns: []string{
+			"chain length", "kind",
+			"light storage (KB)", "superlight storage (KB)",
+			"light validate (ms)", "superlight validate (ms)",
+		},
+	}
+	for _, pt := range r.Points {
+		kind := "measured"
+		if !pt.Measured {
+			kind = "(model)"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", pt.ChainLength), kind,
+			kb(pt.LightStorage), kb(pt.SuperStorage),
+			ms(pt.LightValidate), ms(pt.SuperValidate),
+		})
+	}
+	return t
+}

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+
+	"dcert"
+	"dcert/internal/workload"
+)
+
+// Fig8Point is one workload's certificate-construction breakdown, averaged
+// over several blocks.
+type Fig8Point struct {
+	// Workload is the Blockbench workload.
+	Workload workload.Kind
+	// BlockSize is the transactions per block.
+	BlockSize int
+	// Breakdown components in seconds (averages).
+	OutsideExec    float64
+	OutsideProof   float64
+	InsideExec     float64
+	InsideOverhead float64
+	// EnclaveFactor = (InsideExec + InsideOverhead) / InsideExec: the
+	// slowdown the enclave imposes on the trusted portion (paper: ≤1.8×).
+	EnclaveFactor float64
+}
+
+// Total is the end-to-end construction time.
+func (p Fig8Point) Total() float64 {
+	return p.OutsideExec + p.OutsideProof + p.InsideExec + p.InsideOverhead
+}
+
+// Fig8Result holds the per-workload construction costs.
+type Fig8Result struct {
+	Points []Fig8Point
+}
+
+// measureConstruction builds a deployment for one workload and averages the
+// certificate-construction breakdown over n blocks of the given size.
+func measureConstruction(kind workload.Kind, p Params, blockSize, blocks int) (Fig8Point, error) {
+	dep, err := dcert.NewDeployment(dcert.Config{
+		Workload:    kind,
+		Contracts:   p.Contracts,
+		Accounts:    p.Accounts,
+		Difficulty:  4,
+		EnclaveCost: dcert.DefaultEnclaveCostModel(),
+		Seed:        int64(kind),
+	})
+	if err != nil {
+		return Fig8Point{}, err
+	}
+	var sum dcert.CostBreakdown
+	for i := 0; i < blocks; i++ {
+		txs, err := dep.GenerateBlockTxs(blockSize)
+		if err != nil {
+			return Fig8Point{}, err
+		}
+		blk, err := dep.Miner().Propose(txs)
+		if err != nil {
+			return Fig8Point{}, err
+		}
+		_, bd, err := dep.Issuer().ProcessBlock(blk)
+		if err != nil {
+			return Fig8Point{}, fmt.Errorf("bench: certify %s block %d: %w", kind, i, err)
+		}
+		sum.OutsideExec += bd.OutsideExec
+		sum.OutsideProof += bd.OutsideProof
+		sum.InsideExec += bd.InsideExec
+		sum.InsideOverhead += bd.InsideOverhead
+	}
+	n := float64(blocks)
+	pt := Fig8Point{
+		Workload:       kind,
+		BlockSize:      blockSize,
+		OutsideExec:    sum.OutsideExec / n,
+		OutsideProof:   sum.OutsideProof / n,
+		InsideExec:     sum.InsideExec / n,
+		InsideOverhead: sum.InsideOverhead / n,
+	}
+	if pt.InsideExec > 0 {
+		pt.EnclaveFactor = (pt.InsideExec + pt.InsideOverhead) / pt.InsideExec
+	}
+	return pt, nil
+}
+
+// RunFig8 measures Fig. 8: block-certificate construction cost for each of
+// the five Blockbench workloads at the default block size, split into the
+// untrusted pre-processing (transaction execution / read-write sets, Merkle
+// proof generation) and the trusted in-enclave portion (real execution +
+// simulated SGX overhead).
+func RunFig8(scale Scale) (*Fig8Result, error) {
+	p := ParamsFor(scale)
+	res := &Fig8Result{}
+	for _, kind := range workload.AllKinds() {
+		pt, err := measureConstruction(kind, p, p.DefaultBlockSize, p.CertBlocks)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig8Result) Table() *Table {
+	t := &Table{
+		Title: "Fig. 8 — block certificate construction cost per workload",
+		Note:  "inside-enclave work dominates; 'enclave factor' is the trusted-portion slowdown (paper: ≤1.8×)",
+		Columns: []string{
+			"workload", "block size",
+			"outside exec (ms)", "outside proof (ms)",
+			"inside exec (ms)", "enclave overhead (ms)",
+			"total (ms)", "enclave factor",
+		},
+	}
+	for _, pt := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			pt.Workload.String(), fmt.Sprintf("%d", pt.BlockSize),
+			ms(pt.OutsideExec), ms(pt.OutsideProof),
+			ms(pt.InsideExec), ms(pt.InsideOverhead),
+			ms(pt.Total()), fmt.Sprintf("%.2fx", pt.EnclaveFactor),
+		})
+	}
+	return t
+}
+
+// Fig9Result holds the block-size sweep for the two macro workloads.
+type Fig9Result struct {
+	Points []Fig8Point
+}
+
+// RunFig9 measures Fig. 9: the impact of block size (number of transactions)
+// on certificate construction for KVStore and SmallBank.
+func RunFig9(scale Scale) (*Fig9Result, error) {
+	p := ParamsFor(scale)
+	res := &Fig9Result{}
+	for _, kind := range []workload.Kind{workload.KVStore, workload.SmallBank} {
+		for _, size := range p.BlockSizes {
+			pt, err := measureConstruction(kind, p, size, p.CertBlocks)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig9Result) Table() *Table {
+	t := &Table{
+		Title: "Fig. 9 — impact of block size on certificate construction (KV, SB)",
+		Note:  "construction time and enclave overhead grow with the read/write set passed into the enclave",
+		Columns: []string{
+			"workload", "block size",
+			"outside exec (ms)", "outside proof (ms)",
+			"inside exec (ms)", "enclave overhead (ms)",
+			"total (ms)",
+		},
+	}
+	for _, pt := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			pt.Workload.String(), fmt.Sprintf("%d", pt.BlockSize),
+			ms(pt.OutsideExec), ms(pt.OutsideProof),
+			ms(pt.InsideExec), ms(pt.InsideOverhead),
+			ms(pt.Total()),
+		})
+	}
+	return t
+}

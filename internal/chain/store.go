@@ -1,0 +1,168 @@
+package chain
+
+import (
+	"fmt"
+	"sync"
+
+	"dcert/internal/chash"
+)
+
+// Store keeps blocks by hash and tracks the best tip under the longest-chain
+// selection rule (ties broken by first arrival, as in Bitcoin).
+//
+// Store is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	blocks  map[chash.Hash]*Block
+	byNum   map[uint64][]chash.Hash // all known blocks per height (forks)
+	genesis chash.Hash
+	best    chash.Hash
+	bestNum uint64
+}
+
+// NewStore creates a store seeded with the genesis block.
+func NewStore(genesis *Block) (*Store, error) {
+	if genesis == nil || genesis.Header.Height != 0 {
+		return nil, fmt.Errorf("%w: genesis must have height 0", ErrBadBlock)
+	}
+	gh := genesis.Hash()
+	return &Store{
+		blocks:  map[chash.Hash]*Block{gh: genesis},
+		byNum:   map[uint64][]chash.Hash{0: {gh}},
+		genesis: gh,
+		best:    gh,
+	}, nil
+}
+
+// Genesis returns the genesis block hash.
+func (s *Store) Genesis() chash.Hash {
+	return s.genesis
+}
+
+// Add inserts a block whose parent must already be known. It returns whether
+// the block became the new best tip (longest chain rule).
+func (s *Store) Add(b *Block) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	h := b.Hash()
+	if _, ok := s.blocks[h]; ok {
+		return false, nil
+	}
+	parent, ok := s.blocks[b.Header.PrevHash]
+	if !ok {
+		return false, fmt.Errorf("%w: %s at height %d", ErrUnknownParent, b.Header.PrevHash, b.Header.Height)
+	}
+	if b.Header.Height != parent.Header.Height+1 {
+		return false, fmt.Errorf("%w: height %d after parent height %d", ErrBadBlock, b.Header.Height, parent.Header.Height)
+	}
+	s.blocks[h] = b
+	s.byNum[b.Header.Height] = append(s.byNum[b.Header.Height], h)
+	if b.Header.Height > s.bestNum {
+		s.bestNum = b.Header.Height
+		s.best = h
+		return true, nil
+	}
+	return false, nil
+}
+
+// Get returns the block with the given hash.
+func (s *Store) Get(h chash.Hash) (*Block, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.blocks[h]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, h)
+	}
+	return b, nil
+}
+
+// Best returns the current best tip block.
+func (s *Store) Best() *Block {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.blocks[s.best]
+}
+
+// BestHeight returns the height of the best tip.
+func (s *Store) BestHeight() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bestNum
+}
+
+// AtHeight returns the canonical-chain block at the given height by walking
+// back from the best tip.
+func (s *Store) AtHeight(height uint64) (*Block, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if height > s.bestNum {
+		return nil, fmt.Errorf("%w: height %d beyond tip %d", ErrNotFound, height, s.bestNum)
+	}
+	cur := s.blocks[s.best]
+	for cur.Header.Height > height {
+		parent, ok := s.blocks[cur.Header.PrevHash]
+		if !ok {
+			return nil, fmt.Errorf("%w: broken chain at height %d", ErrNotFound, cur.Header.Height)
+		}
+		cur = parent
+	}
+	return cur, nil
+}
+
+// Len returns the number of stored blocks (including forks).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blocks)
+}
+
+// Headers returns the canonical chain's headers from genesis to the best
+// tip, in order. It is what a traditional light client synchronizes. On a
+// pruned store the walk stops at the pruning horizon and nil is returned:
+// the full history is gone.
+func (s *Store) Headers() []*Header {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Header, s.bestNum+1)
+	cur := s.blocks[s.best]
+	for {
+		hdr := cur.Header
+		out[hdr.Height] = &hdr
+		if hdr.Height == 0 {
+			break
+		}
+		next, ok := s.blocks[hdr.PrevHash]
+		if !ok {
+			return nil
+		}
+		cur = next
+	}
+	return out
+}
+
+// Prune discards block bodies more than keepLast blocks below the best tip,
+// keeping the genesis block (the certification trust anchor). It returns the
+// number of blocks dropped. Pruned stores can no longer serve full header
+// syncs to traditional light clients — which is the point: a DCert CI only
+// needs the recent tail, since superlight clients never ask for history.
+func (s *Store) Prune(keepLast uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bestNum <= keepLast {
+		return 0
+	}
+	cutoff := s.bestNum - keepLast
+	dropped := 0
+	for h, hashes := range s.byNum {
+		if h == 0 || h >= cutoff {
+			continue
+		}
+		for _, bh := range hashes {
+			delete(s.blocks, bh)
+			dropped++
+		}
+		delete(s.byNum, h)
+	}
+	return dropped
+}

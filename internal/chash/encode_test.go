@@ -1,0 +1,154 @@
+package chash
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	h := Leaf([]byte("digest"))
+
+	e := NewEncoder(64)
+	e.PutUint64(42)
+	e.PutUint32(7)
+	e.PutByte(0xab)
+	e.PutBool(true)
+	e.PutBool(false)
+	e.PutHash(h)
+	e.PutBytes([]byte("payload"))
+	e.PutString("name")
+
+	d := NewDecoder(e.Bytes())
+	if v, err := d.Uint64(); err != nil || v != 42 {
+		t.Fatalf("Uint64 = %d, %v", v, err)
+	}
+	if v, err := d.Uint32(); err != nil || v != 7 {
+		t.Fatalf("Uint32 = %d, %v", v, err)
+	}
+	if v, err := d.Byte(); err != nil || v != 0xab {
+		t.Fatalf("Byte = %x, %v", v, err)
+	}
+	if v, err := d.Bool(); err != nil || !v {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if v, err := d.Bool(); err != nil || v {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if v, err := d.ReadHash(); err != nil || v != h {
+		t.Fatalf("ReadHash = %v, %v", v, err)
+	}
+	if v, err := d.ReadBytes(); err != nil || !bytes.Equal(v, []byte("payload")) {
+		t.Fatalf("ReadBytes = %q, %v", v, err)
+	}
+	if v, err := d.ReadString(); err != nil || v != "name" {
+		t.Fatalf("ReadString = %q, %v", v, err)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	e := NewEncoder(16)
+	e.PutUint64(1)
+	full := e.Bytes()
+
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		if _, err := d.Uint64(); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: want ErrTruncated, got %v", cut, err)
+		}
+	}
+}
+
+func TestDecoderTruncatedBytes(t *testing.T) {
+	e := NewEncoder(16)
+	e.PutBytes([]byte("hello"))
+	full := e.Bytes()
+
+	d := NewDecoder(full[:len(full)-1])
+	if _, err := d.ReadBytes(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestDecoderHostileLengthPrefix(t *testing.T) {
+	e := NewEncoder(8)
+	e.PutUint32(1 << 30) // absurd length prefix, no payload
+	d := NewDecoder(e.Bytes())
+	if _, err := d.ReadBytes(); !errors.Is(err, ErrOversized) {
+		t.Fatalf("want ErrOversized, got %v", err)
+	}
+}
+
+func TestDecoderNonCanonicalBool(t *testing.T) {
+	d := NewDecoder([]byte{2})
+	if _, err := d.Bool(); err == nil {
+		t.Fatal("want error for non-canonical bool")
+	}
+}
+
+func TestFinishRejectsTrailingBytes(t *testing.T) {
+	d := NewDecoder([]byte{0, 1, 2})
+	if err := d.Finish(); err == nil {
+		t.Fatal("want error for trailing bytes")
+	}
+}
+
+func TestEncodeRoundTripQuick(t *testing.T) {
+	f := func(a []byte, b []byte, u uint64, s string) bool {
+		e := NewEncoder(32)
+		e.PutBytes(a)
+		e.PutUint64(u)
+		e.PutBytes(b)
+		e.PutString(s)
+
+		d := NewDecoder(e.Bytes())
+		ga, err := d.ReadBytes()
+		if err != nil {
+			return false
+		}
+		gu, err := d.Uint64()
+		if err != nil {
+			return false
+		}
+		gb, err := d.ReadBytes()
+		if err != nil {
+			return false
+		}
+		gs, err := d.ReadString()
+		if err != nil {
+			return false
+		}
+		if err := d.Finish(); err != nil {
+			return false
+		}
+		return bytes.Equal(ga, a) && gu == u && bytes.Equal(gb, b) && gs == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBytesReturnsCopy(t *testing.T) {
+	e := NewEncoder(16)
+	e.PutBytes([]byte("abc"))
+	buf := e.Bytes()
+
+	d := NewDecoder(buf)
+	got, err := d.ReadBytes()
+	if err != nil {
+		t.Fatalf("ReadBytes: %v", err)
+	}
+	got[0] = 'X'
+	d2 := NewDecoder(buf)
+	again, err := d2.ReadBytes()
+	if err != nil {
+		t.Fatalf("ReadBytes: %v", err)
+	}
+	if !bytes.Equal(again, []byte("abc")) {
+		t.Fatal("ReadBytes must return a copy, not a view")
+	}
+}

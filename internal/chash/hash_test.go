@@ -1,0 +1,113 @@
+package chash
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumDomainSeparation(t *testing.T) {
+	payload := []byte("same payload")
+	if Sum(DomainLeaf, payload) == Sum(DomainNode, payload) {
+		t.Fatal("different domains produced identical digests")
+	}
+}
+
+func TestSumConcatenationUnambiguity(t *testing.T) {
+	// Sum over parts must equal Sum over the concatenation: parts are a
+	// convenience, not a framing mechanism. Framing is the Encoder's job.
+	a := Sum(DomainTx, []byte("ab"), []byte("c"))
+	b := Sum(DomainTx, []byte("a"), []byte("bc"))
+	if a != b {
+		t.Fatal("Sum must hash the raw concatenation of parts")
+	}
+}
+
+func TestNodeOrderSensitive(t *testing.T) {
+	l := Leaf([]byte("l"))
+	r := Leaf([]byte("r"))
+	if Node(l, r) == Node(r, l) {
+		t.Fatal("interior node hash must depend on child order")
+	}
+}
+
+func TestHashRoundTrips(t *testing.T) {
+	h := Leaf([]byte("round trip"))
+
+	fromB, err := FromBytes(h.Bytes())
+	if err != nil {
+		t.Fatalf("FromBytes: %v", err)
+	}
+	if fromB != h {
+		t.Fatal("FromBytes round trip mismatch")
+	}
+
+	fromH, err := FromHex(h.Hex())
+	if err != nil {
+		t.Fatalf("FromHex: %v", err)
+	}
+	if fromH != h {
+		t.Fatal("FromHex round trip mismatch")
+	}
+}
+
+func TestFromBytesRejectsBadLength(t *testing.T) {
+	if _, err := FromBytes(make([]byte, Size-1)); err == nil {
+		t.Fatal("expected error for short digest")
+	}
+	if _, err := FromBytes(make([]byte, Size+1)); err == nil {
+		t.Fatal("expected error for long digest")
+	}
+}
+
+func TestFromHexRejectsGarbage(t *testing.T) {
+	if _, err := FromHex("not-hex"); err == nil {
+		t.Fatal("expected error for invalid hex")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Fatal("Zero.IsZero() must be true")
+	}
+	if Leaf(nil).IsZero() {
+		t.Fatal("Leaf(nil) must not be the zero hash")
+	}
+}
+
+func TestDomainString(t *testing.T) {
+	for d := DomainLeaf; d <= DomainConsensus; d++ {
+		if s := d.String(); s == "" || s[0] == 'd' && s != "domain" {
+			// all defined domains have explicit names
+			if len(s) > 6 && s[:6] == "domain" {
+				t.Fatalf("domain %d has no explicit name", d)
+			}
+		}
+	}
+	if Domain(200).String() != "domain(200)" {
+		t.Fatal("unknown domain should format numerically")
+	}
+}
+
+func TestSumInjectivityQuick(t *testing.T) {
+	// Property: distinct inputs (under the same domain) produce distinct
+	// digests. A failure here would be a SHA-256 collision.
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return Sum(DomainState, a) == Sum(DomainState, b)
+		}
+		return Sum(DomainState, a) != Sum(DomainState, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUintBytes(t *testing.T) {
+	if got := Uint64Bytes(0x0102030405060708); !bytes.Equal(got, []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatalf("Uint64Bytes wrong encoding: %v", got)
+	}
+	if got := Uint32Bytes(0x01020304); !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatalf("Uint32Bytes wrong encoding: %v", got)
+	}
+}

@@ -1,0 +1,118 @@
+package chash
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Signature-related errors.
+var (
+	// ErrBadSignature is returned when a signature fails verification.
+	ErrBadSignature = errors.New("chash: signature verification failed")
+	// ErrBadPublicKey is returned when a serialized public key cannot be parsed.
+	ErrBadPublicKey = errors.New("chash: malformed public key")
+)
+
+// PrivateKey is an ECDSA P-256 signing key. In the real system the issuer's
+// instance of this key lives inside the SGX enclave and never leaves it; the
+// simulator enforces the same property via the enclave package.
+type PrivateKey struct {
+	key *ecdsa.PrivateKey
+}
+
+// PublicKey is the verification half of a PrivateKey, in a canonical
+// serializable form.
+type PublicKey struct {
+	der []byte
+	key *ecdsa.PublicKey
+}
+
+// GenerateKey creates a fresh P-256 key pair.
+func GenerateKey() (*PrivateKey, error) {
+	k, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("chash: generate ecdsa key: %w", err)
+	}
+	return &PrivateKey{key: k}, nil
+}
+
+// Public returns the public half of the key.
+func (p *PrivateKey) Public() (*PublicKey, error) {
+	der, err := x509.MarshalPKIXPublicKey(&p.key.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("chash: marshal public key: %w", err)
+	}
+	return &PublicKey{der: der, key: &p.key.PublicKey}, nil
+}
+
+// SignatureSize is the fixed length of serialized signatures (raw r ‖ s,
+// 32 bytes each). A fixed size keeps DCert certificates — and therefore the
+// superlight client's storage — exactly constant.
+const SignatureSize = 64
+
+// Sign produces a fixed-size raw (r ‖ s) signature over the given digest.
+func (p *PrivateKey) Sign(digest Hash) ([]byte, error) {
+	r, s, err := ecdsa.Sign(rand.Reader, p.key, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("chash: sign: %w", err)
+	}
+	sig := make([]byte, SignatureSize)
+	r.FillBytes(sig[:32])
+	s.FillBytes(sig[32:])
+	return sig, nil
+}
+
+// ParsePublicKey deserializes a public key previously produced by
+// PublicKey.Marshal.
+func ParsePublicKey(der []byte) (*PublicKey, error) {
+	anyKey, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPublicKey, err)
+	}
+	ek, ok := anyKey.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("%w: not an ECDSA key", ErrBadPublicKey)
+	}
+	out := make([]byte, len(der))
+	copy(out, der)
+	return &PublicKey{der: out, key: ek}, nil
+}
+
+// Marshal returns the canonical DER (PKIX) encoding of the key.
+func (k *PublicKey) Marshal() []byte {
+	out := make([]byte, len(k.der))
+	copy(out, k.der)
+	return out
+}
+
+// Fingerprint returns the digest of the canonical encoding; used to bind the
+// key into attestation report data.
+func (k *PublicKey) Fingerprint() Hash {
+	return Sum(DomainQuote, k.der)
+}
+
+// Verify checks a fixed-size raw (r ‖ s) signature over the digest.
+func (k *PublicKey) Verify(digest Hash, sig []byte) error {
+	if len(sig) != SignatureSize {
+		return fmt.Errorf("%w: signature must be %d bytes, got %d", ErrBadSignature, SignatureSize, len(sig))
+	}
+	r := new(big.Int).SetBytes(sig[:32])
+	s := new(big.Int).SetBytes(sig[32:])
+	if !ecdsa.Verify(k.key, digest[:], r, s) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Equal reports whether two public keys have identical canonical encodings.
+func (k *PublicKey) Equal(other *PublicKey) bool {
+	if other == nil {
+		return false
+	}
+	return string(k.der) == string(other.der)
+}

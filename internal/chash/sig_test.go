@@ -1,0 +1,114 @@
+package chash
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustKey(t *testing.T) (*PrivateKey, *PublicKey) {
+	t.Helper()
+	sk, err := GenerateKey()
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	pk, err := sk.Public()
+	if err != nil {
+		t.Fatalf("Public: %v", err)
+	}
+	return sk, pk
+}
+
+func TestSignVerify(t *testing.T) {
+	sk, pk := mustKey(t)
+	digest := Leaf([]byte("message"))
+
+	sig, err := sk.Sign(digest)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if err := pk.Verify(digest, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongDigest(t *testing.T) {
+	sk, pk := mustKey(t)
+	sig, err := sk.Sign(Leaf([]byte("signed")))
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	err = pk.Verify(Leaf([]byte("other")), sig)
+	if !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	sk, _ := mustKey(t)
+	_, otherPK := mustKey(t)
+	digest := Leaf([]byte("message"))
+	sig, err := sk.Sign(digest)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if err := otherPK.Verify(digest, sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestVerifyRejectsMangledSignature(t *testing.T) {
+	sk, pk := mustKey(t)
+	digest := Leaf([]byte("message"))
+	sig, err := sk.Sign(digest)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	sig[len(sig)/2] ^= 0xff
+	if err := pk.Verify(digest, sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestPublicKeyMarshalRoundTrip(t *testing.T) {
+	sk, pk := mustKey(t)
+	parsed, err := ParsePublicKey(pk.Marshal())
+	if err != nil {
+		t.Fatalf("ParsePublicKey: %v", err)
+	}
+	if !parsed.Equal(pk) {
+		t.Fatal("round-tripped key not equal to original")
+	}
+
+	digest := Leaf([]byte("via parsed key"))
+	sig, err := sk.Sign(digest)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if err := parsed.Verify(digest, sig); err != nil {
+		t.Fatalf("Verify via parsed key: %v", err)
+	}
+}
+
+func TestParsePublicKeyRejectsGarbage(t *testing.T) {
+	if _, err := ParsePublicKey([]byte("garbage")); !errors.Is(err, ErrBadPublicKey) {
+		t.Fatalf("want ErrBadPublicKey, got %v", err)
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	_, pk := mustKey(t)
+	if pk.Fingerprint() != pk.Fingerprint() {
+		t.Fatal("fingerprint must be deterministic")
+	}
+	_, other := mustKey(t)
+	if pk.Fingerprint() == other.Fingerprint() {
+		t.Fatal("distinct keys must have distinct fingerprints")
+	}
+}
+
+func TestPublicKeyEqualNil(t *testing.T) {
+	_, pk := mustKey(t)
+	if pk.Equal(nil) {
+		t.Fatal("Equal(nil) must be false")
+	}
+}

@@ -1,0 +1,87 @@
+// Package consensus implements the simulated proof-of-work protocol used by
+// the substrate blockchain: a header's work hash must have a configurable
+// number of leading zero bits. The enclave's verify_cons check (Alg. 2
+// line 15) and the miner's sealing loop both live here.
+package consensus
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"dcert/internal/chain"
+	"dcert/internal/chash"
+)
+
+// Package errors.
+var (
+	// ErrBadProof is returned when a header's work hash misses the target.
+	ErrBadProof = errors.New("consensus: proof of work below difficulty target")
+	// ErrExhausted is returned when sealing gives up.
+	ErrExhausted = errors.New("consensus: nonce space exhausted")
+)
+
+// Params configures the protocol.
+type Params struct {
+	// Difficulty is the required number of leading zero bits in the work
+	// hash. Zero disables the work requirement (useful in unit tests).
+	Difficulty uint32
+}
+
+// DefaultParams returns a low-difficulty setting suitable for simulation:
+// blocks seal in microseconds while still exercising the verification path.
+func DefaultParams() Params {
+	return Params{Difficulty: 8}
+}
+
+// workHash computes the PoW digest of a header (which includes the nonce).
+func workHash(h *chain.Header) chash.Hash {
+	hh := h.Hash()
+	return chash.Sum(chash.DomainConsensus, hh[:])
+}
+
+// leadingZeroBits counts the leading zero bits of a digest.
+func leadingZeroBits(h chash.Hash) uint32 {
+	var n uint32
+	for _, b := range h {
+		if b == 0 {
+			n += 8
+			continue
+		}
+		n += uint32(bits.LeadingZeros8(b))
+		break
+	}
+	return n
+}
+
+// Verify checks π_cons: the header's difficulty matches the protocol
+// parameters and the work hash meets the target.
+func Verify(p Params, h *chain.Header) error {
+	if h.Consensus.Difficulty != p.Difficulty {
+		return fmt.Errorf("%w: difficulty %d, want %d", ErrBadProof, h.Consensus.Difficulty, p.Difficulty)
+	}
+	if p.Difficulty == 0 {
+		return nil
+	}
+	if got := leadingZeroBits(workHash(h)); got < p.Difficulty {
+		return fmt.Errorf("%w: %d leading zero bits, need %d", ErrBadProof, got, p.Difficulty)
+	}
+	return nil
+}
+
+// Seal searches for a nonce that satisfies the difficulty target, mutating
+// the header's consensus proof in place.
+func Seal(p Params, h *chain.Header) error {
+	h.Consensus.Difficulty = p.Difficulty
+	if p.Difficulty == 0 {
+		h.Consensus.Nonce = 0
+		return nil
+	}
+	for nonce := uint64(0); nonce < 1<<40; nonce++ {
+		h.Consensus.Nonce = nonce
+		if leadingZeroBits(workHash(h)) >= p.Difficulty {
+			return nil
+		}
+	}
+	return ErrExhausted
+}

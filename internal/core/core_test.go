@@ -1,0 +1,389 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"dcert/internal/attest"
+	"dcert/internal/chain"
+	"dcert/internal/chash"
+	"dcert/internal/consensus"
+	"dcert/internal/enclave"
+	"dcert/internal/node"
+	"dcert/internal/vm"
+	"dcert/internal/workload"
+)
+
+// mockIndex is a trivially replayable IndexUpdater for exercising the
+// certificate plumbing: root' = H(root ‖ blockHash ‖ canonical writes).
+type mockIndex struct {
+	name string
+}
+
+func (m mockIndex) Name() string { return m.name }
+
+func (m mockIndex) Replay(prevRoot chash.Hash, _ []byte, blk *chain.Block, writes map[string][]byte) (chash.Hash, error) {
+	return mockIndexRoot(prevRoot, blk, writes), nil
+}
+
+func mockIndexRoot(prevRoot chash.Hash, blk *chain.Block, writes map[string][]byte) chash.Hash {
+	keys := make([]string, 0, len(writes))
+	for k := range writes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e := chash.NewEncoder(256)
+	e.PutHash(prevRoot)
+	e.PutHash(blk.Hash())
+	for _, k := range keys {
+		e.PutString(k)
+		e.PutBytes(writes[k])
+	}
+	return chash.Sum(chash.DomainIndex, e.Bytes())
+}
+
+// env is a complete DCert test rig: a miner, a CI with an enclave, the
+// attestation authority, and a workload generator.
+type env struct {
+	authority *attest.Authority
+	miner     *node.Miner
+	issuer    *Issuer
+	gen       *workload.Generator
+	params    consensus.Params
+}
+
+func newEnv(t testing.TB, kind workload.Kind, cost enclave.CostModel) *env {
+	t.Helper()
+	accounts, err := workload.NewAccounts(6)
+	if err != nil {
+		t.Fatalf("NewAccounts: %v", err)
+	}
+	cfg := workload.Config{Kind: kind, Contracts: 3, Seed: 11, KeySpace: 30, CPUSortSize: 32, IOOpsPerTx: 3}
+	params := consensus.Params{Difficulty: 4}
+
+	mkNode := func() *node.FullNode {
+		t.Helper()
+		reg := vm.NewRegistry()
+		if err := workload.Register(reg, kind, cfg.Contracts); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		genesis, db, err := node.BuildGenesis(node.GenesisConfig{Time: 1, Consensus: params})
+		if err != nil {
+			t.Fatalf("BuildGenesis: %v", err)
+		}
+		n, err := node.NewFullNode(genesis, db, reg, params)
+		if err != nil {
+			t.Fatalf("NewFullNode: %v", err)
+		}
+		return n
+	}
+
+	authority, err := attest.NewAuthority()
+	if err != nil {
+		t.Fatalf("NewAuthority: %v", err)
+	}
+	platform, err := authority.NewPlatform()
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	issuer, err := NewIssuer(mkNode(), authority, platform, cost)
+	if err != nil {
+		t.Fatalf("NewIssuer: %v", err)
+	}
+	gen, err := workload.NewGenerator(cfg, accounts)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return &env{
+		authority: authority,
+		miner:     node.NewMiner(mkNode()),
+		issuer:    issuer,
+		gen:       gen,
+		params:    params,
+	}
+}
+
+func (e *env) mine(t testing.TB, n int) *chain.Block {
+	t.Helper()
+	txs, err := e.gen.Block(n)
+	if err != nil {
+		t.Fatalf("gen.Block: %v", err)
+	}
+	b, err := e.miner.Propose(txs)
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	return b
+}
+
+func (e *env) client() *SuperlightClient {
+	return NewSuperlightClient(e.authority.PublicKey(), e.issuer.Measurement(), e.params)
+}
+
+func TestBlockCertificationChain(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	client := e.client()
+
+	for i := 0; i < 5; i++ {
+		blk := e.mine(t, 10)
+		cert, bd, err := e.issuer.ProcessBlock(blk)
+		if err != nil {
+			t.Fatalf("ProcessBlock(%d): %v", i, err)
+		}
+		if bd.Total() <= 0 {
+			t.Fatal("cost breakdown must be positive")
+		}
+		if err := client.ValidateChain(&blk.Header, cert); err != nil {
+			t.Fatalf("ValidateChain(%d): %v", i, err)
+		}
+	}
+	hdr, cert := client.Latest()
+	if hdr.Height != 5 || cert == nil {
+		t.Fatalf("client tip = %d", hdr.Height)
+	}
+	if e.issuer.Node().Tip().Header.Height != 5 {
+		t.Fatal("issuer replica did not advance")
+	}
+}
+
+func TestCertificateVerifiesEndToEnd(t *testing.T) {
+	e := newEnv(t, workload.DoNothing, enclave.CostModel{})
+	blk := e.mine(t, 3)
+	cert, _, err := e.issuer.ProcessBlock(blk)
+	if err != nil {
+		t.Fatalf("ProcessBlock: %v", err)
+	}
+	if err := cert.Verify(e.authority.PublicKey(), e.issuer.Measurement(), BlockDigest(&blk.Header)); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestClientRejectsTamperedHeader(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	client := e.client()
+	blk := e.mine(t, 5)
+	cert, _, err := e.issuer.ProcessBlock(blk)
+	if err != nil {
+		t.Fatalf("ProcessBlock: %v", err)
+	}
+	hdr := blk.Header
+	hdr.StateRoot = chash.Leaf([]byte("forged state"))
+	if err := client.ValidateChain(&hdr, cert); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("want ErrBadCertificate, got %v", err)
+	}
+}
+
+func TestClientRejectsForgedSignature(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	client := e.client()
+	blk := e.mine(t, 5)
+	cert, _, err := e.issuer.ProcessBlock(blk)
+	if err != nil {
+		t.Fatalf("ProcessBlock: %v", err)
+	}
+	forged := *cert
+	forged.Sig = append([]byte(nil), cert.Sig...)
+	forged.Sig[6] ^= 0xff
+	if err := client.ValidateChain(&blk.Header, &forged); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("want ErrBadCertificate, got %v", err)
+	}
+}
+
+func TestClientRejectsWrongEnclaveKey(t *testing.T) {
+	// A certificate signed by a key not bound into the attestation report
+	// must fail even if the signature itself is valid.
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	client := e.client()
+	blk := e.mine(t, 5)
+	cert, _, err := e.issuer.ProcessBlock(blk)
+	if err != nil {
+		t.Fatalf("ProcessBlock: %v", err)
+	}
+	rogueSK, err := chash.GenerateKey()
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	roguePK, err := rogueSK.Public()
+	if err != nil {
+		t.Fatalf("Public: %v", err)
+	}
+	sig, err := rogueSK.Sign(BlockDigest(&blk.Header))
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	forged := &Certificate{PubKey: roguePK.Marshal(), Report: cert.Report, Digest: cert.Digest, Sig: sig}
+	if err := client.ValidateChain(&blk.Header, forged); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("want ErrBadCertificate, got %v", err)
+	}
+}
+
+func TestClientRejectsWrongMeasurement(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	// Client pins a different program measurement.
+	client := NewSuperlightClient(e.authority.PublicKey(), chash.Leaf([]byte("other program")), e.params)
+	blk := e.mine(t, 5)
+	cert, _, err := e.issuer.ProcessBlock(blk)
+	if err != nil {
+		t.Fatalf("ProcessBlock: %v", err)
+	}
+	if err := client.ValidateChain(&blk.Header, cert); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("want ErrBadCertificate, got %v", err)
+	}
+}
+
+func TestClientEnforcesChainSelectionRule(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	client := e.client()
+	b1 := e.mine(t, 3)
+	c1, _, err := e.issuer.ProcessBlock(b1)
+	if err != nil {
+		t.Fatalf("ProcessBlock: %v", err)
+	}
+	b2 := e.mine(t, 3)
+	c2, _, err := e.issuer.ProcessBlock(b2)
+	if err != nil {
+		t.Fatalf("ProcessBlock: %v", err)
+	}
+	if err := client.ValidateChain(&b2.Header, c2); err != nil {
+		t.Fatalf("ValidateChain(b2): %v", err)
+	}
+	// Presenting the older (shorter-chain) block must be rejected.
+	if err := client.ValidateChain(&b1.Header, c1); !errors.Is(err, ErrChainRule) {
+		t.Fatalf("want ErrChainRule, got %v", err)
+	}
+}
+
+func TestIssuerRejectsInvalidBlocks(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+
+	t.Run("tampered state root", func(t *testing.T) {
+		blk := e.mine(t, 3)
+		bad := *blk
+		bad.Header.StateRoot = chash.Leaf([]byte("forged"))
+		if err := consensus.Seal(e.params, &bad.Header); err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		if _, _, err := e.issuer.ProcessBlock(&bad); err == nil {
+			t.Fatal("issuer must reject forged state roots")
+		}
+		// The real block still certifies afterwards.
+		if _, _, err := e.issuer.ProcessBlock(blk); err != nil {
+			t.Fatalf("ProcessBlock after rejection: %v", err)
+		}
+	})
+
+	t.Run("bad consensus proof", func(t *testing.T) {
+		blk := e.mine(t, 3)
+		bad := *blk
+		bad.Header.Consensus.Difficulty = 0
+		if _, _, err := e.issuer.ProcessBlock(&bad); !errors.Is(err, consensus.ErrBadProof) {
+			t.Fatalf("want ErrBadProof, got %v", err)
+		}
+		if _, _, err := e.issuer.ProcessBlock(blk); err != nil {
+			t.Fatalf("ProcessBlock after rejection: %v", err)
+		}
+	})
+
+	t.Run("truncated txs", func(t *testing.T) {
+		blk := e.mine(t, 3)
+		bad := &chain.Block{Header: blk.Header, Txs: blk.Txs[:1]}
+		if _, _, err := e.issuer.ProcessBlock(bad); !errors.Is(err, chain.ErrBadBlock) {
+			t.Fatalf("want ErrBadBlock, got %v", err)
+		}
+		if _, _, err := e.issuer.ProcessBlock(blk); err != nil {
+			t.Fatalf("ProcessBlock after rejection: %v", err)
+		}
+	})
+}
+
+func TestStorageSizeConstant(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	client := e.client()
+	var sizes []int
+	for i := 0; i < 4; i++ {
+		blk := e.mine(t, 5)
+		cert, _, err := e.issuer.ProcessBlock(blk)
+		if err != nil {
+			t.Fatalf("ProcessBlock: %v", err)
+		}
+		if err := client.ValidateChain(&blk.Header, cert); err != nil {
+			t.Fatalf("ValidateChain: %v", err)
+		}
+		sizes = append(sizes, client.StorageSize())
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] != sizes[0] {
+			t.Fatalf("storage not constant: %v", sizes)
+		}
+	}
+	// The paper reports 2.97 KB; ours must be the same order of magnitude.
+	if sizes[0] < 1024 || sizes[0] > 8192 {
+		t.Fatalf("storage size %d outside plausible range", sizes[0])
+	}
+}
+
+func TestCertificateMarshalRoundTrip(t *testing.T) {
+	e := newEnv(t, workload.DoNothing, enclave.CostModel{})
+	blk := e.mine(t, 2)
+	cert, _, err := e.issuer.ProcessBlock(blk)
+	if err != nil {
+		t.Fatalf("ProcessBlock: %v", err)
+	}
+	parsed, err := UnmarshalCertificate(cert.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalCertificate: %v", err)
+	}
+	if err := parsed.Verify(e.authority.PublicKey(), e.issuer.Measurement(), BlockDigest(&blk.Header)); err != nil {
+		t.Fatalf("round-tripped cert must verify: %v", err)
+	}
+	if cert.EncodedSize() != len(cert.Marshal()) {
+		t.Fatal("EncodedSize mismatch")
+	}
+}
+
+func TestUnmarshalCertificateRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalCertificate([]byte{1, 2}); err == nil {
+		t.Fatal("want error for garbage certificate")
+	}
+}
+
+func TestClientSnapshotRestore(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	client := e.client()
+	blk := e.mine(t, 5)
+	cert, _, err := e.issuer.ProcessBlock(blk)
+	if err != nil {
+		t.Fatalf("ProcessBlock: %v", err)
+	}
+	if err := client.ValidateChain(&blk.Header, cert); err != nil {
+		t.Fatalf("ValidateChain: %v", err)
+	}
+	snap, err := client.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	// A fresh client restores and re-validates from the snapshot alone.
+	fresh := e.client()
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	hdr, _ := fresh.Latest()
+	if hdr.Height != 1 {
+		t.Fatalf("restored height = %d", hdr.Height)
+	}
+
+	// A tampered snapshot is rejected during re-validation.
+	bad := append([]byte(nil), snap...)
+	bad[10] ^= 0xff
+	another := e.client()
+	if err := another.Restore(bad); err == nil {
+		t.Fatal("tampered snapshot must not restore")
+	}
+
+	// An empty client has nothing to snapshot.
+	if _, err := e.client().Snapshot(); err == nil {
+		t.Fatal("want error for empty-client snapshot")
+	}
+}

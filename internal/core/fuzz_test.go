@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"dcert/internal/enclave"
+	"dcert/internal/workload"
+)
+
+func FuzzUnmarshalCertificate(f *testing.F) {
+	// Seed with a genuine certificate.
+	e := newEnv(f, workload.DoNothing, enclave.CostModel{})
+	blk := e.mine(f, 2)
+	cert, _, err := e.issuer.ProcessBlock(blk)
+	if err != nil {
+		f.Fatalf("ProcessBlock: %v", err)
+	}
+	f.Add(cert.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 4, 1, 2, 3, 4})
+
+	authorityPK := e.authority.PublicKey()
+	measurement := e.issuer.Measurement()
+	digest := BlockDigest(&blk.Header)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		parsed, err := UnmarshalCertificate(raw)
+		if err != nil {
+			return
+		}
+		// Decodable bytes must re-encode canonically.
+		if string(parsed.Marshal()) != string(raw) {
+			t.Fatal("non-canonical certificate decode")
+		}
+		// Verification must never panic; it may only succeed for the
+		// genuine certificate bytes.
+		if err := parsed.Verify(authorityPK, measurement, digest); err == nil {
+			if string(raw) != string(cert.Marshal()) {
+				t.Fatal("a mutated certificate verified")
+			}
+		}
+	})
+}

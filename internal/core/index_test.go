@@ -1,0 +1,196 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dcert/internal/chain"
+	"dcert/internal/chash"
+	"dcert/internal/enclave"
+	"dcert/internal/workload"
+)
+
+// registerMockIndexes registers n mock updaters on the issuer's trusted
+// program and returns their names.
+func registerMockIndexes(t *testing.T, e *env, n int) []string {
+	t.Helper()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "mock-" + string(rune('a'+i))
+		if err := e.issuer.Program().RegisterUpdater(mockIndex{name: names[i]}); err != nil {
+			t.Fatalf("RegisterUpdater: %v", err)
+		}
+	}
+	return names
+}
+
+// mockJobs builds IndexJobs with the correct expected roots for a block by
+// simulating the updater on the miner's write set.
+func mockJobs(t *testing.T, e *env, names []string, blkTxs int) (*envBlock, []*IndexJob) {
+	t.Helper()
+	blk := e.mine(t, blkTxs)
+	// Recompute the write set the same way the enclave will.
+	res, err := e.issuer.Node().State().ExecuteBlock(e.issuer.Node().Registry(), blk.Txs)
+	if err != nil {
+		t.Fatalf("ExecuteBlock: %v", err)
+	}
+	jobs := make([]*IndexJob, len(names))
+	for i, name := range names {
+		prevRoot, _ := e.issuer.indexState(name)
+		jobs[i] = &IndexJob{
+			Updater: name,
+			NewRoot: mockIndexRoot(prevRoot, blk, res.WriteSet),
+		}
+	}
+	return &envBlock{blk: blk}, jobs
+}
+
+type envBlock struct {
+	blk *chain.Block
+}
+
+func TestAugmentedCertification(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	names := registerMockIndexes(t, e, 2)
+	client := e.client()
+
+	for round := 0; round < 3; round++ {
+		eb, jobs := mockJobs(t, e, names, 8)
+		certs, bd, err := e.issuer.ProcessBlockAugmented(eb.blk, jobs)
+		if err != nil {
+			t.Fatalf("round %d: ProcessBlockAugmented: %v", round, err)
+		}
+		if len(certs) != len(names) {
+			t.Fatalf("got %d certs", len(certs))
+		}
+		if bd.Total() <= 0 {
+			t.Fatal("cost breakdown must be positive")
+		}
+		for i, name := range names {
+			if err := client.ValidateIndex(name, &eb.blk.Header, jobs[i].NewRoot, certs[i]); err != nil {
+				t.Fatalf("round %d: ValidateIndex(%s): %v", round, name, err)
+			}
+		}
+	}
+	root, height, err := client.IndexRoot(names[0])
+	if err != nil {
+		t.Fatalf("IndexRoot: %v", err)
+	}
+	if height != 3 || root.IsZero() {
+		t.Fatalf("index state height=%d root=%s", height, root)
+	}
+}
+
+func TestAugmentedRejectsWrongNewRoot(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	names := registerMockIndexes(t, e, 1)
+	eb, jobs := mockJobs(t, e, names, 5)
+	jobs[0].NewRoot = chash.Leaf([]byte("forged index root"))
+	if _, _, err := e.issuer.ProcessBlockAugmented(eb.blk, jobs); !errors.Is(err, ErrIndexRootMismatch) {
+		t.Fatalf("want ErrIndexRootMismatch, got %v", err)
+	}
+}
+
+func TestAugmentedRejectsUnknownUpdater(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	names := registerMockIndexes(t, e, 1)
+	eb, jobs := mockJobs(t, e, names, 5)
+	jobs[0].Updater = "not-registered"
+	if _, _, err := e.issuer.ProcessBlockAugmented(eb.blk, jobs); !errors.Is(err, ErrUnknownIndex) {
+		t.Fatalf("want ErrUnknownIndex, got %v", err)
+	}
+}
+
+func TestAugmentedRequiresJobs(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	blk := e.mine(t, 5)
+	if _, _, err := e.issuer.ProcessBlockAugmented(blk, nil); err == nil {
+		t.Fatal("want error for zero index jobs")
+	}
+}
+
+func TestHierarchicalCertification(t *testing.T) {
+	e := newEnv(t, workload.SmallBank, enclave.CostModel{})
+	names := registerMockIndexes(t, e, 3)
+	client := e.client()
+
+	for round := 0; round < 3; round++ {
+		eb, jobs := mockJobs(t, e, names, 8)
+		blkCert, certs, _, err := e.issuer.ProcessBlockHierarchical(eb.blk, jobs)
+		if err != nil {
+			t.Fatalf("round %d: ProcessBlockHierarchical: %v", round, err)
+		}
+		if err := client.ValidateChain(&eb.blk.Header, blkCert); err != nil {
+			t.Fatalf("ValidateChain: %v", err)
+		}
+		for i, name := range names {
+			if err := client.ValidateIndex(name, &eb.blk.Header, jobs[i].NewRoot, certs[i]); err != nil {
+				t.Fatalf("ValidateIndex(%s): %v", name, err)
+			}
+		}
+	}
+}
+
+func TestHierarchicalWithNoIndexesIsPlainBlockCert(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	blk := e.mine(t, 4)
+	blkCert, certs, _, err := e.issuer.ProcessBlockHierarchical(blk, nil)
+	if err != nil {
+		t.Fatalf("ProcessBlockHierarchical: %v", err)
+	}
+	if len(certs) != 0 {
+		t.Fatalf("got %d index certs", len(certs))
+	}
+	client := e.client()
+	if err := client.ValidateChain(&blk.Header, blkCert); err != nil {
+		t.Fatalf("ValidateChain: %v", err)
+	}
+}
+
+func TestHierarchicalRejectsWrongRoot(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	names := registerMockIndexes(t, e, 1)
+	eb, jobs := mockJobs(t, e, names, 5)
+	jobs[0].NewRoot = chash.Leaf([]byte("forged"))
+	if _, _, _, err := e.issuer.ProcessBlockHierarchical(eb.blk, jobs); !errors.Is(err, ErrIndexRootMismatch) {
+		t.Fatalf("want ErrIndexRootMismatch, got %v", err)
+	}
+}
+
+func TestIndexCertChainsAcrossBlocks(t *testing.T) {
+	// The second block's index cert must verify against the first's root:
+	// tamper with the tracked chain by validating an old cert after a new one.
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	names := registerMockIndexes(t, e, 1)
+	client := e.client()
+
+	eb1, jobs1 := mockJobs(t, e, names, 5)
+	certs1, _, err := e.issuer.ProcessBlockAugmented(eb1.blk, jobs1)
+	if err != nil {
+		t.Fatalf("ProcessBlockAugmented: %v", err)
+	}
+	eb2, jobs2 := mockJobs(t, e, names, 5)
+	certs2, _, err := e.issuer.ProcessBlockAugmented(eb2.blk, jobs2)
+	if err != nil {
+		t.Fatalf("ProcessBlockAugmented: %v", err)
+	}
+	if err := client.ValidateIndex(names[0], &eb2.blk.Header, jobs2[0].NewRoot, certs2[0]); err != nil {
+		t.Fatalf("ValidateIndex: %v", err)
+	}
+	if err := client.ValidateIndex(names[0], &eb1.blk.Header, jobs1[0].NewRoot, certs1[0]); !errors.Is(err, ErrChainRule) {
+		t.Fatalf("want ErrChainRule for stale index cert, got %v", err)
+	}
+}
+
+func TestRegisterUpdaterRejectsDuplicatesAndNil(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	if err := e.issuer.Program().RegisterUpdater(mockIndex{name: "x"}); err != nil {
+		t.Fatalf("RegisterUpdater: %v", err)
+	}
+	if err := e.issuer.Program().RegisterUpdater(mockIndex{name: "x"}); err == nil {
+		t.Fatal("want error for duplicate updater")
+	}
+	if err := e.issuer.Program().RegisterUpdater(nil); err == nil {
+		t.Fatal("want error for nil updater")
+	}
+}

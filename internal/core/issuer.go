@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"dcert/internal/attest"
+	"dcert/internal/chain"
+	"dcert/internal/chash"
+	"dcert/internal/enclave"
+	"dcert/internal/node"
+	"dcert/internal/statedb"
+)
+
+// Issuer is the SGX-enabled Certificate Issuer (CI) of §3.2: a full node
+// equipped with an enclave that certifies every block (Alg. 1) and,
+// optionally, authenticated indexes (Alg. 4 / Alg. 5).
+//
+// Issuer is not safe for concurrent use: blocks are certified strictly in
+// chain order.
+type Issuer struct {
+	node   *node.FullNode
+	encl   *enclave.Enclave
+	prog   *TrustedProgram
+	report *attest.Report
+
+	mu             sync.RWMutex
+	lastCert       *Certificate
+	certs          map[chash.Hash]*Certificate            // block hash → block cert
+	indexCerts     map[string]map[chash.Hash]*Certificate // index → block hash → cert
+	indexRoots     map[string]chash.Hash                  // index → last certified root
+	lastIndexBlock map[string]chash.Hash                  // index → block hash of last cert
+}
+
+// CostBreakdown reports where one certificate construction spent its time,
+// matching the Fig. 8 decomposition.
+type CostBreakdown struct {
+	// OutsideExec is the untrusted pre-processing time: transaction
+	// execution and read/write-set computation (comp_data_set).
+	OutsideExec float64
+	// OutsideProof is the untrusted Merkle-proof generation time
+	// (get_update_proof).
+	OutsideProof float64
+	// InsideExec is the real execution time of trusted code.
+	InsideExec float64
+	// InsideOverhead is the simulated SGX overhead (transitions, copies,
+	// compute factor, paging).
+	InsideOverhead float64
+}
+
+// Total is the end-to-end construction time in seconds.
+func (c CostBreakdown) Total() float64 {
+	return c.OutsideExec + c.OutsideProof + c.InsideExec + c.InsideOverhead
+}
+
+// NewIssuer initializes a CI: the trusted program is loaded into an enclave
+// on the given platform, generates its sealed key pair, and obtains the
+// attestation report rep from the authority (§3.3 initialization).
+func NewIssuer(n *node.FullNode, authority *attest.Authority, platform *attest.Platform, cost enclave.CostModel) (*Issuer, error) {
+	genesis, err := n.Store().Get(n.Store().Genesis())
+	if err != nil {
+		return nil, fmt.Errorf("core: issuer genesis: %w", err)
+	}
+	prog := NewTrustedProgram(genesis.Hash(), authority.PublicKey(), n.Params(), n.Registry())
+	encl, err := enclave.New(prog.ID(), platform, cost)
+	if err != nil {
+		return nil, fmt.Errorf("core: issuer enclave: %w", err)
+	}
+	quote, err := encl.Quote()
+	if err != nil {
+		return nil, fmt.Errorf("core: issuer quote: %w", err)
+	}
+	report, err := authority.Attest(quote)
+	if err != nil {
+		return nil, fmt.Errorf("core: issuer attestation: %w", err)
+	}
+	return &Issuer{
+		node:           n,
+		encl:           encl,
+		prog:           prog,
+		report:         report,
+		certs:          make(map[chash.Hash]*Certificate),
+		indexCerts:     make(map[string]map[chash.Hash]*Certificate),
+		indexRoots:     make(map[string]chash.Hash),
+		lastIndexBlock: make(map[string]chash.Hash),
+	}, nil
+}
+
+// Node exposes the CI's full-node core.
+func (ci *Issuer) Node() *node.FullNode {
+	return ci.node
+}
+
+// Enclave exposes the CI's enclave (for cost accounting in benchmarks).
+func (ci *Issuer) Enclave() *enclave.Enclave {
+	return ci.encl
+}
+
+// Program exposes the trusted program (to register index updaters before
+// certification starts).
+func (ci *Issuer) Program() *TrustedProgram {
+	return ci.prog
+}
+
+// Report returns the CI's attestation report.
+func (ci *Issuer) Report() *attest.Report {
+	return ci.report
+}
+
+// Measurement returns the CI enclave's measurement, which superlight
+// clients pin.
+func (ci *Issuer) Measurement() chash.Hash {
+	return ci.encl.Measurement()
+}
+
+// CertFor returns the block certificate for a block hash.
+func (ci *Issuer) CertFor(blockHash chash.Hash) (*Certificate, bool) {
+	ci.mu.RLock()
+	defer ci.mu.RUnlock()
+	c, ok := ci.certs[blockHash]
+	return c, ok
+}
+
+// IndexCertFor returns the index certificate for (index, block hash).
+func (ci *Issuer) IndexCertFor(index string, blockHash chash.Hash) (*Certificate, bool) {
+	ci.mu.RLock()
+	defer ci.mu.RUnlock()
+	c, ok := ci.indexCerts[index][blockHash]
+	return c, ok
+}
+
+// LatestCert returns the newest block certificate (nil before the first
+// certified block).
+func (ci *Issuer) LatestCert() *Certificate {
+	ci.mu.RLock()
+	defer ci.mu.RUnlock()
+	return ci.lastCert
+}
+
+// newCert assembles a certificate from the enclave's outputs (Alg. 1
+// lines 5-7).
+func (ci *Issuer) newCert(digest chash.Hash, sig []byte) *Certificate {
+	return &Certificate{
+		PubKey: ci.encl.PublicKey().Marshal(),
+		Report: ci.report,
+		Digest: digest,
+		Sig:    sig,
+	}
+}
+
+// prepare runs the untrusted pre-processing of Alg. 1 lines 2-3 and returns
+// the update proof plus the block's write set.
+func (ci *Issuer) prepare(blk *chain.Block, bd *CostBreakdown) (*statedb.UpdateProof, *statedb.ExecResult, error) {
+	execTimer := startTimer()
+	res, err := ci.node.State().ExecuteBlock(ci.node.Registry(), blk.Txs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: comp_data_set: %w", err)
+	}
+	bd.OutsideExec += execTimer()
+
+	proofTimer := startTimer()
+	proof, err := ci.node.State().UpdateProofFor(res)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: get_update_proof: %w", err)
+	}
+	bd.OutsideProof += proofTimer()
+	return proof, res, nil
+}
+
+// ecallInputSize estimates the bytes marshalled through the enclave
+// boundary for a block-certification Ecall.
+func ecallInputSize(prev, blk *chain.Block, prevCert *Certificate, proof *statedb.UpdateProof) int {
+	size := len(prev.Header.Marshal()) + len(blk.Marshal()) + proof.EncodedSize()
+	if prevCert != nil {
+		size += prevCert.EncodedSize()
+	}
+	return size
+}
+
+// ProcessBlock runs Alg. 1 (gen_cert) for a block extending the CI's tip:
+// untrusted pre-processing, one Ecall for signature generation, certificate
+// assembly — then advances the CI's own full-node replica. The returned
+// breakdown feeds Figs. 8-9.
+func (ci *Issuer) ProcessBlock(blk *chain.Block) (*Certificate, CostBreakdown, error) {
+	var bd CostBreakdown
+	prev := ci.node.Tip()
+	prevCert := ci.LatestCert()
+
+	proof, res, err := ci.prepare(blk, &bd)
+	if err != nil {
+		return nil, bd, err
+	}
+
+	// Alg. 1 line 4: enter the enclave.
+	var sig []byte
+	before := ci.encl.Stats()
+	err = ci.encl.Ecall(ecallInputSize(prev, blk, prevCert, proof), func(ctx *enclave.Context) error {
+		var err error
+		sig, err = ci.prog.EcallSigGen(ctx, prev, prevCert, blk, proof)
+		return err
+	})
+	after := ci.encl.Stats()
+	bd.InsideExec += (after.ExecTime - before.ExecTime).Seconds()
+	bd.InsideOverhead += (after.OverheadTime - before.OverheadTime).Seconds()
+	if err != nil {
+		return nil, bd, fmt.Errorf("core: ecall_sig_gen: %w", err)
+	}
+
+	// Alg. 1 lines 5-7: assemble cert_i.
+	cert := ci.newCert(BlockDigest(&blk.Header), sig)
+
+	// Advance the CI's replica (it is a full node; the enclave just
+	// established the block's validity).
+	if err := ci.advance(blk, res); err != nil {
+		return nil, bd, err
+	}
+
+	ci.mu.Lock()
+	ci.certs[blk.Hash()] = cert
+	ci.lastCert = cert
+	ci.mu.Unlock()
+	return cert, bd, nil
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+
+	"dcert/internal/chain"
+	"dcert/internal/chash"
+	"dcert/internal/enclave"
+	"dcert/internal/statedb"
+)
+
+// IndexJob is the CI-side input for certifying one authenticated index over
+// one block: the claimed new root and the update witness (prepared by the
+// index replica or the SP), plus the updater identity. The previous root and
+// certificate are tracked by the Issuer itself.
+type IndexJob struct {
+	// Updater names the registered index-update logic.
+	Updater string
+	// NewRoot is the claimed post-block index root H_i^idx.
+	NewRoot chash.Hash
+	// Witness is the update proof π_i^idx.
+	Witness []byte
+}
+
+// indexState returns the tracked (prevRoot, prevCert) pair for an index.
+func (ci *Issuer) indexState(name string) (chash.Hash, *Certificate) {
+	ci.mu.RLock()
+	defer ci.mu.RUnlock()
+	return ci.indexRoots[name], ci.lastIndexCert(name)
+}
+
+// lastIndexCert must be called with ci.mu held.
+func (ci *Issuer) lastIndexCert(name string) *Certificate {
+	certs := ci.indexCerts[name]
+	if len(certs) == 0 {
+		return nil
+	}
+	// The tracked root corresponds to the cert stored under lastIndexBlock.
+	return certs[ci.lastIndexBlock[name]]
+}
+
+// storeIndexCert records a fresh index certificate.
+func (ci *Issuer) storeIndexCert(name string, blockHash chash.Hash, root chash.Hash, cert *Certificate) {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if ci.indexCerts[name] == nil {
+		ci.indexCerts[name] = make(map[chash.Hash]*Certificate)
+	}
+	ci.indexCerts[name][blockHash] = cert
+	ci.indexRoots[name] = root
+	if ci.lastIndexBlock == nil {
+		ci.lastIndexBlock = make(map[string]chash.Hash)
+	}
+	ci.lastIndexBlock[name] = blockHash
+}
+
+// ProcessBlockAugmented runs the augmented scheme (Alg. 4) for a block and a
+// set of authenticated indexes: one Ecall per index, each of which
+// re-verifies the previous augmented certificate, the full block transition,
+// and the index update, then signs H(hdr_i ‖ H_i^idx).
+//
+// The returned certificates are in job order. The block itself advances the
+// CI's replica once, after all index certificates succeed.
+func (ci *Issuer) ProcessBlockAugmented(blk *chain.Block, jobs []*IndexJob) ([]*Certificate, CostBreakdown, error) {
+	var bd CostBreakdown
+	if len(jobs) == 0 {
+		return nil, bd, fmt.Errorf("core: augmented certification needs at least one index")
+	}
+	prev := ci.node.Tip()
+
+	proof, res, err := ci.prepare(blk, &bd)
+	if err != nil {
+		return nil, bd, err
+	}
+
+	certs := make([]*Certificate, 0, len(jobs))
+	for _, job := range jobs {
+		prevRoot, prevCert := ci.indexState(job.Updater)
+		in := &IndexInput{
+			Updater:  job.Updater,
+			PrevRoot: prevRoot,
+			PrevCert: prevCert,
+			NewRoot:  job.NewRoot,
+			Witness:  job.Witness,
+		}
+		var sig []byte
+		inputSize := ecallInputSize(prev, blk, prevCert, proof) + len(job.Witness)
+		before := ci.encl.Stats()
+		err := ci.encl.Ecall(inputSize, func(ctx *enclave.Context) error {
+			var err error
+			sig, err = ci.prog.EcallAugmented(ctx, prev, blk, proof, in)
+			return err
+		})
+		after := ci.encl.Stats()
+		bd.InsideExec += (after.ExecTime - before.ExecTime).Seconds()
+		bd.InsideOverhead += (after.OverheadTime - before.OverheadTime).Seconds()
+		if err != nil {
+			return nil, bd, fmt.Errorf("core: augmented ecall (%s): %w", job.Updater, err)
+		}
+		certs = append(certs, ci.newCert(IndexDigest(&blk.Header, job.NewRoot), sig))
+	}
+
+	if err := ci.advance(blk, res); err != nil {
+		return nil, bd, err
+	}
+	for i, job := range jobs {
+		ci.storeIndexCert(job.Updater, blk.Hash(), job.NewRoot, certs[i])
+	}
+	return certs, bd, nil
+}
+
+// ProcessBlockHierarchical runs the hierarchical scheme (Alg. 5): first the
+// plain block certificate (Alg. 1, one Ecall with full verification), then
+// one cheap Ecall per index that verifies the fresh block certificate
+// instead of re-executing the block.
+//
+// It returns the block certificate and the index certificates in job order.
+func (ci *Issuer) ProcessBlockHierarchical(blk *chain.Block, jobs []*IndexJob) (*Certificate, []*Certificate, CostBreakdown, error) {
+	var bd CostBreakdown
+	prev := ci.node.Tip()
+	prevBlockCert := ci.LatestCert()
+
+	proof, res, err := ci.prepare(blk, &bd)
+	if err != nil {
+		return nil, nil, bd, err
+	}
+
+	// Line 1: gen_cert — the block certificate.
+	var blkSig []byte
+	before := ci.encl.Stats()
+	err = ci.encl.Ecall(ecallInputSize(prev, blk, prevBlockCert, proof), func(ctx *enclave.Context) error {
+		var err error
+		blkSig, err = ci.prog.EcallSigGen(ctx, prev, prevBlockCert, blk, proof)
+		return err
+	})
+	after := ci.encl.Stats()
+	bd.InsideExec += (after.ExecTime - before.ExecTime).Seconds()
+	bd.InsideOverhead += (after.OverheadTime - before.OverheadTime).Seconds()
+	if err != nil {
+		return nil, nil, bd, fmt.Errorf("core: ecall_sig_gen: %w", err)
+	}
+	blkCert := ci.newCert(BlockDigest(&blk.Header), blkSig)
+
+	// Lines 2-18: per-index certification against the block certificate.
+	certs := make([]*Certificate, 0, len(jobs))
+	for _, job := range jobs {
+		prevRoot, prevCert := ci.indexState(job.Updater)
+		in := &IndexInput{
+			Updater:  job.Updater,
+			PrevRoot: prevRoot,
+			PrevCert: prevCert,
+			NewRoot:  job.NewRoot,
+			Witness:  job.Witness,
+		}
+		inputSize := len(prev.Header.Marshal()) + len(blk.Header.Marshal()) +
+			blkCert.EncodedSize() + len(job.Witness)
+		if prevCert != nil {
+			inputSize += prevCert.EncodedSize()
+		}
+		var sig []byte
+		before := ci.encl.Stats()
+		err := ci.encl.Ecall(inputSize, func(ctx *enclave.Context) error {
+			var err error
+			sig, err = ci.prog.EcallHierarchicalIndex(ctx, prev, blk, blkCert, in)
+			return err
+		})
+		after := ci.encl.Stats()
+		bd.InsideExec += (after.ExecTime - before.ExecTime).Seconds()
+		bd.InsideOverhead += (after.OverheadTime - before.OverheadTime).Seconds()
+		if err != nil {
+			return nil, nil, bd, fmt.Errorf("core: hierarchical ecall (%s): %w", job.Updater, err)
+		}
+		certs = append(certs, ci.newCert(IndexDigest(&blk.Header, job.NewRoot), sig))
+	}
+
+	if err := ci.advance(blk, res); err != nil {
+		return nil, nil, bd, err
+	}
+	ci.mu.Lock()
+	ci.certs[blk.Hash()] = blkCert
+	ci.lastCert = blkCert
+	ci.mu.Unlock()
+	for i, job := range jobs {
+		ci.storeIndexCert(job.Updater, blk.Hash(), job.NewRoot, certs[i])
+	}
+	return blkCert, certs, bd, nil
+}
+
+// advance commits the block's writes and appends it to the CI's store.
+func (ci *Issuer) advance(blk *chain.Block, res *statedb.ExecResult) error {
+	if _, err := ci.node.State().Commit(res.WriteSet); err != nil {
+		return fmt.Errorf("core: advance state: %w", err)
+	}
+	if _, err := ci.node.Store().Add(blk); err != nil {
+		return fmt.Errorf("core: advance chain: %w", err)
+	}
+	return nil
+}

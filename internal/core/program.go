@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"dcert/internal/chain"
+	"dcert/internal/chash"
+	"dcert/internal/consensus"
+	"dcert/internal/enclave"
+	"dcert/internal/statedb"
+	"dcert/internal/vm"
+)
+
+// IndexUpdater is the stateless, deterministic index-update logic baked into
+// the trusted program for one authenticated index. Implementations (package
+// query) must derive the index updates from the block itself (plus its
+// verified state write set) — never from untrusted claims — and replay them
+// over a witness, exactly like state replay.
+type IndexUpdater interface {
+	// Name identifies the index instance.
+	Name() string
+	// Replay applies the index updates implied by blk (whose state write
+	// set is writes) on top of prevRoot, resolving index nodes from the
+	// witness. It returns the new index root. Missing or tampered witness
+	// data must fail, not fabricate.
+	Replay(prevRoot chash.Hash, witness []byte, blk *chain.Block, writes map[string][]byte) (chash.Hash, error)
+}
+
+// GenesisIndexRoot is H_genesis^idx: every authenticated index starts empty.
+var GenesisIndexRoot = chash.Zero
+
+// ProgramID builds the canonical identity of the DCert trusted program. The
+// enclave measurement is the digest of these bytes, so two CIs running the
+// same program over the same chain parameters are mutually verifiable.
+func ProgramID(genesis chash.Hash, authorityPK *chash.PublicKey, params consensus.Params) []byte {
+	e := chash.NewEncoder(256)
+	e.PutString("dcert-trusted-program-v1")
+	e.PutHash(genesis)
+	e.PutBytes(authorityPK.Marshal())
+	e.PutUint32(params.Difficulty)
+	return e.Bytes()
+}
+
+// TrustedProgram is the in-enclave certificate-construction program
+// (Alg. 2). Its fields are fixed at initialization and are part of the
+// program identity; the write-set cache is enclave-resident scratch state
+// used by the hierarchical scheme.
+type TrustedProgram struct {
+	genesis     chash.Hash
+	authorityPK *chash.PublicKey
+	params      consensus.Params
+	reg         *vm.Registry
+	updaters    map[string]IndexUpdater
+
+	// mu guards the enclave-resident write-set cache.
+	mu sync.Mutex
+	// writeCache keeps the verified state write set of recently certified
+	// blocks so hierarchical index certification (Alg. 5) can derive index
+	// write data without re-executing the block. It lives entirely inside
+	// the enclave, so its contents are trusted.
+	writeCache map[chash.Hash]map[string][]byte
+}
+
+// NewTrustedProgram builds the trusted program for a chain.
+func NewTrustedProgram(genesis chash.Hash, authorityPK *chash.PublicKey, params consensus.Params, reg *vm.Registry) *TrustedProgram {
+	return &TrustedProgram{
+		genesis:     genesis,
+		authorityPK: authorityPK,
+		params:      params,
+		reg:         reg,
+		updaters:    make(map[string]IndexUpdater),
+		writeCache:  make(map[chash.Hash]map[string][]byte),
+	}
+}
+
+// ID returns the program identity bytes (measured by the enclave).
+func (p *TrustedProgram) ID() []byte {
+	return ProgramID(p.genesis, p.authorityPK, p.params)
+}
+
+// RegisterUpdater adds index-update logic to the program. In a real
+// deployment this would be part of the measured enclave binary; registering
+// a new index type corresponds to deploying an extended program.
+func (p *TrustedProgram) RegisterUpdater(u IndexUpdater) error {
+	if u == nil {
+		return fmt.Errorf("core: nil index updater")
+	}
+	if _, ok := p.updaters[u.Name()]; ok {
+		return fmt.Errorf("core: updater %q already registered", u.Name())
+	}
+	p.updaters[u.Name()] = u
+	return nil
+}
+
+// certVerifyT is cert_verify_t (Alg. 2 lines 25-32): validate a peer
+// certificate against an expected digest, inside the enclave.
+func (p *TrustedProgram) certVerifyT(ctx *enclave.Context, expectDigest chash.Hash, cert *Certificate) error {
+	return cert.Verify(p.authorityPK, ctx.Measurement(), expectDigest)
+}
+
+// blkVerifyT is blk_verify_t (Alg. 2 lines 10-24): verify that blk correctly
+// extends prev, replaying the state transition over the update proof. It
+// returns the verified state write set (reused by index certification).
+func (p *TrustedProgram) blkVerifyT(prev, blk *chain.Block, proof *statedb.UpdateProof) (map[string][]byte, error) {
+	// Line 14: linkage and height.
+	if blk.Header.PrevHash != prev.Header.Hash() {
+		return nil, fmt.Errorf("%w: previous hash mismatch", chain.ErrBadBlock)
+	}
+	if blk.Header.Height != prev.Header.Height+1 {
+		return nil, fmt.Errorf("%w: height %d after %d", chain.ErrBadBlock, blk.Header.Height, prev.Header.Height)
+	}
+	// Line 15: verify_cons.
+	if err := consensus.Verify(p.params, &blk.Header); err != nil {
+		return nil, err
+	}
+	// Line 16: verify_hash(H_tx, {tx}).
+	if err := blk.VerifyTxRoot(); err != nil {
+		return nil, err
+	}
+	// Lines 17-23: read-set verification, re-execution, write-set
+	// verification, and state-root update, all against the witness.
+	newRoot, writes, err := replayWithWrites(prev.Header.StateRoot, proof, p.reg, blk.Txs)
+	if err != nil {
+		return nil, err
+	}
+	if newRoot != blk.Header.StateRoot {
+		return nil, fmt.Errorf("%w: replayed %s, header %s", statedb.ErrStateRootMismatch, newRoot, blk.Header.StateRoot)
+	}
+	return writes, nil
+}
+
+// replayWithWrites mirrors statedb.ReplayBlock but also surfaces the write
+// set for index certification.
+func replayWithWrites(prevRoot chash.Hash, proof *statedb.UpdateProof, reg *vm.Registry, txs []*chain.Transaction) (chash.Hash, map[string][]byte, error) {
+	root, writes, err := statedb.ReplayBlockWithWrites(prevRoot, proof, reg, txs)
+	if err != nil {
+		return chash.Zero, nil, err
+	}
+	return root, writes, nil
+}
+
+// verifyPrev dispatches the genesis/recursive check of Alg. 2 lines 3-6
+// for a digest function (block or index digest).
+func (p *TrustedProgram) verifyPrev(ctx *enclave.Context, prev *chain.Block, prevDigest chash.Hash, prevCert *Certificate) error {
+	if prev.Header.Height == 0 {
+		if prev.Hash() != p.genesis {
+			return fmt.Errorf("%w: %s", ErrGenesisMismatch, prev.Hash())
+		}
+		return nil
+	}
+	return p.certVerifyT(ctx, prevDigest, prevCert)
+}
+
+// EcallSigGen is ecall_sig_gen (Alg. 2 lines 1-9), run inside the enclave:
+// verify the previous certificate (or genesis), verify the new block, cache
+// its write set, and sign H(hdr_i).
+func (p *TrustedProgram) EcallSigGen(ctx *enclave.Context, prev *chain.Block, prevCert *Certificate, blk *chain.Block, proof *statedb.UpdateProof) ([]byte, error) {
+	if err := p.verifyPrev(ctx, prev, BlockDigest(&prev.Header), prevCert); err != nil {
+		return nil, err
+	}
+	writes, err := p.blkVerifyT(prev, blk, proof)
+	if err != nil {
+		return nil, err
+	}
+	p.cacheWrites(blk.Hash(), writes)
+	return ctx.Sign(BlockDigest(&blk.Header))
+}
+
+// IndexInput bundles the per-index inputs of Alg. 4 / Alg. 5: the previous
+// index root and certificate, the claimed new root, and the update witness.
+type IndexInput struct {
+	// Updater names the registered index-update logic.
+	Updater string
+	// PrevRoot is H_{i-1}^idx.
+	PrevRoot chash.Hash
+	// PrevCert is cert_{i-1}^idx (nil when bootstrapping from genesis).
+	PrevCert *Certificate
+	// NewRoot is the claimed H_i^idx.
+	NewRoot chash.Hash
+	// Witness is π_i^idx, the index update proof.
+	Witness []byte
+}
+
+// replayIndex runs lines 8-10 of Alg. 4: derive the index write data from
+// the (verified) block, check the witness, and recompute the index root.
+func (p *TrustedProgram) replayIndex(in *IndexInput, blk *chain.Block, writes map[string][]byte) error {
+	u, ok := p.updaters[in.Updater]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownIndex, in.Updater)
+	}
+	newRoot, err := u.Replay(in.PrevRoot, in.Witness, blk, writes)
+	if err != nil {
+		return err
+	}
+	if newRoot != in.NewRoot {
+		return fmt.Errorf("%w: replayed %s, claimed %s", ErrIndexRootMismatch, newRoot, in.NewRoot)
+	}
+	return nil
+}
+
+// EcallAugmented is the trusted body of Alg. 4: one enclave entry that
+// verifies the block transition AND the index update, then signs
+// H(hdr_i ‖ H_i^idx).
+func (p *TrustedProgram) EcallAugmented(ctx *enclave.Context, prev *chain.Block, blk *chain.Block, proof *statedb.UpdateProof, in *IndexInput) ([]byte, error) {
+	// Lines 3-6: previous augmented certificate (or genesis index root).
+	if prev.Header.Height == 0 {
+		if prev.Hash() != p.genesis {
+			return nil, fmt.Errorf("%w: %s", ErrGenesisMismatch, prev.Hash())
+		}
+		if in.PrevRoot != GenesisIndexRoot {
+			return nil, fmt.Errorf("%w: genesis index root must be empty", ErrIndexRootMismatch)
+		}
+	} else {
+		if err := p.certVerifyT(ctx, IndexDigest(&prev.Header, in.PrevRoot), in.PrevCert); err != nil {
+			return nil, err
+		}
+	}
+	// Line 7: full block verification (re-executed per index — the cost the
+	// hierarchical scheme removes).
+	writes, err := p.blkVerifyT(prev, blk, proof)
+	if err != nil {
+		return nil, err
+	}
+	// Lines 8-10: index update replay.
+	if err := p.replayIndex(in, blk, writes); err != nil {
+		return nil, err
+	}
+	// Lines 11-12: sign H(hdr_i ‖ H_i^idx).
+	return ctx.Sign(IndexDigest(&blk.Header, in.NewRoot))
+}
+
+// EcallHierarchicalIndex is the per-index trusted body of Alg. 5 (lines
+// 3-15): instead of re-verifying the block, it verifies the block
+// certificate produced moments earlier, reuses the enclave-cached write set,
+// replays the index update, and signs H(hdr_i ‖ H_i^idx).
+func (p *TrustedProgram) EcallHierarchicalIndex(ctx *enclave.Context, prev *chain.Block, blk *chain.Block, blkCert *Certificate, in *IndexInput) ([]byte, error) {
+	// Lines 5-9: previous index certificate (or genesis index root).
+	if prev.Header.Height == 0 {
+		if prev.Hash() != p.genesis {
+			return nil, fmt.Errorf("%w: %s", ErrGenesisMismatch, prev.Hash())
+		}
+		if in.PrevRoot != GenesisIndexRoot {
+			return nil, fmt.Errorf("%w: genesis index root must be empty", ErrIndexRootMismatch)
+		}
+	} else {
+		if err := p.certVerifyT(ctx, IndexDigest(&prev.Header, in.PrevRoot), in.PrevCert); err != nil {
+			return nil, err
+		}
+	}
+	// Line 10: verify blk via its block certificate instead of re-execution.
+	if err := p.certVerifyT(ctx, BlockDigest(&blk.Header), blkCert); err != nil {
+		return nil, err
+	}
+	writes, ok := p.lookupWrites(blk.Hash())
+	if !ok {
+		return nil, fmt.Errorf("core: write set for block %s not in enclave cache", blk.Hash())
+	}
+	// Lines 11-13: index update replay.
+	if err := p.replayIndex(in, blk, writes); err != nil {
+		return nil, err
+	}
+	// Lines 14-15: sign H(hdr_i ‖ H_i^idx).
+	return ctx.Sign(IndexDigest(&blk.Header, in.NewRoot))
+}
+
+// writeCacheLimit bounds the enclave-resident cache (the enclave's tight
+// memory budget is the whole point of the paper's §2.2 discussion).
+const writeCacheLimit = 4
+
+func (p *TrustedProgram) cacheWrites(blockHash chash.Hash, writes map[string][]byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.writeCache) >= writeCacheLimit {
+		// Evict arbitrarily: only the most recent block's set is ever needed.
+		for h := range p.writeCache {
+			delete(p.writeCache, h)
+			break
+		}
+	}
+	p.writeCache[blockHash] = writes
+}
+
+func (p *TrustedProgram) lookupWrites(blockHash chash.Hash) (map[string][]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w, ok := p.writeCache[blockHash]
+	return w, ok
+}

@@ -1,0 +1,11 @@
+package core
+
+import "time"
+
+// startTimer returns a closure reporting elapsed seconds since the call.
+func startTimer() func() float64 {
+	start := time.Now()
+	return func() float64 {
+		return time.Since(start).Seconds()
+	}
+}

@@ -1,0 +1,223 @@
+// Package enclave simulates an Intel SGX enclave for environments without
+// the hardware. All algorithmic work the DCert paper places inside the
+// enclave (proof verification, transaction re-execution, signing with the
+// sealed key) runs for real through this package; only the hardware-induced
+// overheads are injected from a calibrated cost model:
+//
+//   - Ecall/Ocall transition latency (the paper's motivation for minimizing
+//     enclave calls, §2.2),
+//   - per-byte copy cost for moving call buffers into EPC memory,
+//   - a multiplicative compute slowdown for in-enclave execution (memory
+//     encryption engine), and
+//   - a paging penalty once a call's working set exceeds the usable EPC
+//     budget (93 MB on the paper's hardware).
+//
+// The enclave-generated signing key sk_enc never leaves the package: trusted
+// code receives a Context whose Sign method uses it, mirroring the sealed-key
+// design of §3.3.
+package enclave
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dcert/internal/attest"
+	"dcert/internal/chash"
+)
+
+// Package errors.
+var (
+	// ErrNotInitialized is returned when using an enclave before New.
+	ErrNotInitialized = errors.New("enclave: not initialized")
+)
+
+// CostModel parameterizes the simulated SGX overheads. The zero value
+// disables all overheads (fast unit tests); DefaultCostModel returns values
+// calibrated against published SGX measurements.
+type CostModel struct {
+	// TransitionLatency is charged once per Ecall (enter + exit).
+	TransitionLatency time.Duration
+	// CopyPerKB is charged per KiB of call input copied into the enclave.
+	CopyPerKB time.Duration
+	// ComputeFactor ≥ 1 multiplies in-enclave execution time (values below 1
+	// are treated as 1).
+	ComputeFactor float64
+	// EPCBudget is the usable enclave memory in bytes; calls whose input
+	// exceeds it incur PagingPerKB on the excess.
+	EPCBudget int
+	// PagingPerKB is charged per KiB of input beyond EPCBudget.
+	PagingPerKB time.Duration
+}
+
+// DefaultCostModel returns overheads calibrated to published SGX numbers:
+// ~8µs per enclave transition (HotCalls, Weisse et al.), ~0.4µs/KB EPC copy,
+// ~1.25× in-enclave compute slowdown, 93 MB usable EPC with a steep paging
+// penalty (Chakrabarti et al.).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		TransitionLatency: 8 * time.Microsecond,
+		CopyPerKB:         400 * time.Nanosecond,
+		ComputeFactor:     1.25,
+		EPCBudget:         93 << 20,
+		PagingPerKB:       20 * time.Microsecond,
+	}
+}
+
+// Stats accumulates simulated-cost accounting for one enclave, split the way
+// Fig. 8 of the paper breaks down certificate construction time.
+type Stats struct {
+	// Ecalls counts trusted entries.
+	Ecalls uint64
+	// BytesIn counts call input bytes copied into the enclave.
+	BytesIn uint64
+	// ExecTime is the real execution time of trusted code.
+	ExecTime time.Duration
+	// OverheadTime is the injected SGX overhead (transitions, copies,
+	// compute factor, paging).
+	OverheadTime time.Duration
+}
+
+// InsideTime is the total simulated in-enclave time.
+func (s Stats) InsideTime() time.Duration {
+	return s.ExecTime + s.OverheadTime
+}
+
+// Context is handed to trusted code running inside the enclave. It exposes
+// the sealed key without ever revealing it.
+type Context struct {
+	e *Enclave
+}
+
+// Sign signs a digest with the sealed enclave key sk_enc (load_sk + Sign of
+// Alg. 2 lines 8-9).
+func (c *Context) Sign(digest chash.Hash) ([]byte, error) {
+	return c.e.sk.Sign(digest)
+}
+
+// Measurement returns the running enclave's own measurement, which trusted
+// code compares against attestation reports of peer certificates
+// (Alg. 2 line 28: "the current enclave program's measurement").
+func (c *Context) Measurement() chash.Hash {
+	return c.e.measurement
+}
+
+// PublicKey returns pk_enc.
+func (c *Context) PublicKey() *chash.PublicKey {
+	return c.e.pk
+}
+
+// Enclave is a simulated SGX enclave instance.
+//
+// Enclave is safe for concurrent use; Ecalls serialize on an internal mutex,
+// matching single-threaded enclave entry.
+type Enclave struct {
+	mu          sync.Mutex
+	measurement chash.Hash
+	sk          *chash.PrivateKey
+	pk          *chash.PublicKey
+	platform    *attest.Platform
+	cost        CostModel
+	stats       Stats
+}
+
+// New initializes an enclave running the program identified by programID
+// (its measurement is the digest of programID) on the given platform. A
+// fresh key pair (sk_enc, pk_enc) is generated inside; sk_enc never leaves.
+func New(programID []byte, platform *attest.Platform, cost CostModel) (*Enclave, error) {
+	if platform == nil {
+		return nil, fmt.Errorf("enclave: nil platform")
+	}
+	sk, err := chash.GenerateKey()
+	if err != nil {
+		return nil, fmt.Errorf("enclave: generate sealed key: %w", err)
+	}
+	pk, err := sk.Public()
+	if err != nil {
+		return nil, fmt.Errorf("enclave: generate sealed key: %w", err)
+	}
+	return &Enclave{
+		measurement: Measure(programID),
+		sk:          sk,
+		pk:          pk,
+		platform:    platform,
+		cost:        cost,
+	}, nil
+}
+
+// Measure computes the measurement of a program identity.
+func Measure(programID []byte) chash.Hash {
+	return chash.Sum(chash.DomainQuote, []byte("enclave-measurement"), programID)
+}
+
+// Measurement returns the enclave's measurement.
+func (e *Enclave) Measurement() chash.Hash {
+	return e.measurement
+}
+
+// PublicKey returns pk_enc, the public half of the sealed key.
+func (e *Enclave) PublicKey() *chash.PublicKey {
+	return e.pk
+}
+
+// Quote produces a hardware quote binding pk_enc to this enclave's
+// measurement; sending it to an attest.Authority yields the attestation
+// report rep that accompanies every certificate.
+func (e *Enclave) Quote() (*attest.Quote, error) {
+	return e.platform.SignQuote(e.measurement, e.pk.Fingerprint())
+}
+
+// Stats returns a snapshot of the enclave's accounting.
+func (e *Enclave) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// ResetStats zeroes the accounting (between benchmark phases).
+func (e *Enclave) ResetStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats = Stats{}
+}
+
+// Ecall enters the enclave and runs trusted code. inputBytes is the size of
+// the call buffers marshalled through the boundary; it drives the copy and
+// paging components of the cost model. The trusted function's error is
+// returned as-is.
+func (e *Enclave) Ecall(inputBytes int, trusted func(ctx *Context) error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	start := time.Now()
+	err := trusted(&Context{e: e})
+	exec := time.Since(start)
+
+	overhead := e.cost.TransitionLatency
+	overhead += time.Duration(float64(e.cost.CopyPerKB) * float64(inputBytes) / 1024)
+	if e.cost.ComputeFactor > 1 {
+		overhead += time.Duration(float64(exec) * (e.cost.ComputeFactor - 1))
+	}
+	if e.cost.EPCBudget > 0 && inputBytes > e.cost.EPCBudget {
+		excess := inputBytes - e.cost.EPCBudget
+		overhead += time.Duration(float64(e.cost.PagingPerKB) * float64(excess) / 1024)
+	}
+	if overhead > 0 {
+		spin(overhead)
+	}
+
+	e.stats.Ecalls++
+	e.stats.BytesIn += uint64(inputBytes)
+	e.stats.ExecTime += exec
+	e.stats.OverheadTime += overhead
+	return err
+}
+
+// spin busy-waits for d so injected overheads show up in wall-clock
+// measurements with sub-sleep-quantum precision.
+func spin(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}

@@ -1,0 +1,256 @@
+package enclave
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dcert/internal/attest"
+	"dcert/internal/chash"
+)
+
+func newEnclave(t *testing.T, cost CostModel) (*Enclave, *attest.Authority) {
+	t.Helper()
+	a, err := attest.NewAuthority()
+	if err != nil {
+		t.Fatalf("NewAuthority: %v", err)
+	}
+	p, err := a.NewPlatform()
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	e, err := New([]byte("dcert-trusted-program-v1"), p, cost)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e, a
+}
+
+func TestMeasurementDeterministic(t *testing.T) {
+	if Measure([]byte("p")) != Measure([]byte("p")) {
+		t.Fatal("measurement must be deterministic")
+	}
+	if Measure([]byte("p")) == Measure([]byte("q")) {
+		t.Fatal("different programs must have different measurements")
+	}
+	e1, _ := newEnclave(t, CostModel{})
+	if e1.Measurement() != Measure([]byte("dcert-trusted-program-v1")) {
+		t.Fatal("enclave measurement mismatch")
+	}
+}
+
+func TestSealedKeySignsInsideOnly(t *testing.T) {
+	e, _ := newEnclave(t, CostModel{})
+	digest := chash.Leaf([]byte("block digest"))
+	var sig []byte
+	err := e.Ecall(0, func(ctx *Context) error {
+		var err error
+		sig, err = ctx.Sign(digest)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Ecall: %v", err)
+	}
+	if err := e.PublicKey().Verify(digest, sig); err != nil {
+		t.Fatalf("signature must verify under pk_enc: %v", err)
+	}
+}
+
+func TestEcallPropagatesError(t *testing.T) {
+	e, _ := newEnclave(t, CostModel{})
+	sentinel := errors.New("trusted failure")
+	if err := e.Ecall(0, func(*Context) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("want sentinel, got %v", err)
+	}
+}
+
+func TestQuoteBindsKeyAndMeasurement(t *testing.T) {
+	e, a := newEnclave(t, CostModel{})
+	q, err := e.Quote()
+	if err != nil {
+		t.Fatalf("Quote: %v", err)
+	}
+	rep, err := a.Attest(q)
+	if err != nil {
+		t.Fatalf("Attest: %v", err)
+	}
+	if err := rep.Verify(a.PublicKey(), e.Measurement(), e.PublicKey().Fingerprint()); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestContextMeasurementMatchesEnclave(t *testing.T) {
+	e, _ := newEnclave(t, CostModel{})
+	if err := e.Ecall(0, func(ctx *Context) error {
+		if ctx.Measurement() != e.Measurement() {
+			t.Error("context measurement mismatch")
+		}
+		if !ctx.PublicKey().Equal(e.PublicKey()) {
+			t.Error("context public key mismatch")
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("Ecall: %v", err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	e, _ := newEnclave(t, CostModel{})
+	for i := 0; i < 3; i++ {
+		if err := e.Ecall(1024, func(*Context) error { return nil }); err != nil {
+			t.Fatalf("Ecall: %v", err)
+		}
+	}
+	s := e.Stats()
+	if s.Ecalls != 3 {
+		t.Fatalf("Ecalls = %d", s.Ecalls)
+	}
+	if s.BytesIn != 3*1024 {
+		t.Fatalf("BytesIn = %d", s.BytesIn)
+	}
+	e.ResetStats()
+	if e.Stats().Ecalls != 0 {
+		t.Fatal("ResetStats must zero the counters")
+	}
+}
+
+func TestTransitionLatencyCharged(t *testing.T) {
+	cost := CostModel{TransitionLatency: 200 * time.Microsecond}
+	e, _ := newEnclave(t, cost)
+	start := time.Now()
+	if err := e.Ecall(0, func(*Context) error { return nil }); err != nil {
+		t.Fatalf("Ecall: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Microsecond {
+		t.Fatalf("transition latency not applied: %v", elapsed)
+	}
+	if e.Stats().OverheadTime < 150*time.Microsecond {
+		t.Fatalf("overhead accounting too low: %v", e.Stats().OverheadTime)
+	}
+}
+
+func TestComputeFactorCharged(t *testing.T) {
+	e, _ := newEnclave(t, CostModel{ComputeFactor: 3.0})
+	busy := func(*Context) error {
+		deadline := time.Now().Add(2 * time.Millisecond)
+		for time.Now().Before(deadline) {
+		}
+		return nil
+	}
+	start := time.Now()
+	if err := e.Ecall(0, busy); err != nil {
+		t.Fatalf("Ecall: %v", err)
+	}
+	elapsed := time.Since(start)
+	// 2 ms of work at 3x should take ≈6 ms; allow generous slack.
+	if elapsed < 4*time.Millisecond {
+		t.Fatalf("compute factor not applied: %v", elapsed)
+	}
+	s := e.Stats()
+	if s.OverheadTime < s.ExecTime {
+		t.Fatalf("overhead %v should be ~2x exec %v at factor 3", s.OverheadTime, s.ExecTime)
+	}
+}
+
+func TestCopyCostScalesWithInput(t *testing.T) {
+	e, _ := newEnclave(t, CostModel{CopyPerKB: 10 * time.Microsecond})
+	if err := e.Ecall(100*1024, func(*Context) error { return nil }); err != nil {
+		t.Fatalf("Ecall: %v", err)
+	}
+	if e.Stats().OverheadTime < 500*time.Microsecond {
+		t.Fatalf("copy cost too low: %v", e.Stats().OverheadTime)
+	}
+}
+
+func TestPagingPenaltyBeyondEPC(t *testing.T) {
+	cost := CostModel{EPCBudget: 1024, PagingPerKB: 100 * time.Microsecond}
+	e, _ := newEnclave(t, cost)
+	if err := e.Ecall(1024, func(*Context) error { return nil }); err != nil {
+		t.Fatalf("Ecall: %v", err)
+	}
+	within := e.Stats().OverheadTime
+	e.ResetStats()
+	if err := e.Ecall(11*1024, func(*Context) error { return nil }); err != nil {
+		t.Fatalf("Ecall: %v", err)
+	}
+	beyond := e.Stats().OverheadTime
+	if beyond <= within+500*time.Microsecond {
+		t.Fatalf("paging penalty not applied: within=%v beyond=%v", within, beyond)
+	}
+}
+
+func TestZeroCostModelIsFast(t *testing.T) {
+	e, _ := newEnclave(t, CostModel{})
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		if err := e.Ecall(1<<20, func(*Context) error { return nil }); err != nil {
+			t.Fatalf("Ecall: %v", err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("zero cost model should add no overhead, took %v", elapsed)
+	}
+}
+
+func TestDefaultCostModelSane(t *testing.T) {
+	c := DefaultCostModel()
+	if c.TransitionLatency <= 0 || c.ComputeFactor <= 1 || c.EPCBudget != 93<<20 {
+		t.Fatalf("default cost model implausible: %+v", c)
+	}
+}
+
+func TestNewRejectsNilPlatform(t *testing.T) {
+	if _, err := New([]byte("p"), nil, CostModel{}); err == nil {
+		t.Fatal("want error for nil platform")
+	}
+}
+
+func TestDistinctEnclavesHaveDistinctKeys(t *testing.T) {
+	e1, _ := newEnclave(t, CostModel{})
+	e2, _ := newEnclave(t, CostModel{})
+	if e1.PublicKey().Equal(e2.PublicKey()) {
+		t.Fatal("enclave instances must generate distinct sealed keys")
+	}
+}
+
+func TestVendorProfiles(t *testing.T) {
+	if len(AllVendors()) != 4 {
+		t.Fatalf("AllVendors = %d", len(AllVendors()))
+	}
+	for _, v := range AllVendors() {
+		cm := CostModelFor(v)
+		if v != VendorSGX && cm == (CostModel{}) {
+			t.Fatalf("%s: empty cost model", v)
+		}
+		if cm.ComputeFactor < 1 {
+			t.Fatalf("%s: compute factor %v < 1", v, cm.ComputeFactor)
+		}
+		if v.String() == "" {
+			t.Fatalf("vendor %d has no name", int(v))
+		}
+	}
+	if CostModelFor(VendorSGX) != DefaultCostModel() {
+		t.Fatal("SGX profile must be the default model")
+	}
+}
+
+func TestParseVendor(t *testing.T) {
+	cases := map[string]Vendor{
+		"sgx": VendorSGX, "": VendorSGX, "INTEL": VendorSGX,
+		"trustzone": VendorTrustZone, "arm": VendorTrustZone,
+		"multizone": VendorMultiZone, "risc-v": VendorMultiZone,
+		"sev": VendorSEV, "amd": VendorSEV, "psp": VendorSEV,
+	}
+	for in, want := range cases {
+		got, err := ParseVendor(in)
+		if err != nil {
+			t.Fatalf("ParseVendor(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("ParseVendor(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if _, err := ParseVendor("abacus"); err == nil {
+		t.Fatal("want error for unknown vendor")
+	}
+}

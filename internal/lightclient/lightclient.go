@@ -1,0 +1,121 @@
+// Package lightclient implements the traditional blockchain light client of
+// §2.1 — the baseline DCert is compared against in Fig. 7. It synchronizes
+// and validates every block header (hash linkage, height continuity, and the
+// consensus proof) and stores all of them, so both its bootstrap time and
+// its storage grow linearly with chain length.
+package lightclient
+
+import (
+	"errors"
+	"fmt"
+
+	"dcert/internal/chain"
+	"dcert/internal/chash"
+	"dcert/internal/consensus"
+)
+
+// Package errors.
+var (
+	// ErrBrokenChain is returned when synced headers do not link.
+	ErrBrokenChain = errors.New("lightclient: header chain broken")
+	// ErrGenesisMismatch is returned when the first header is not the
+	// client's pinned genesis.
+	ErrGenesisMismatch = errors.New("lightclient: genesis mismatch")
+)
+
+// Client is a traditional light client.
+//
+// Client is not safe for concurrent use.
+type Client struct {
+	genesis chash.Hash
+	params  consensus.Params
+	headers []*chain.Header
+}
+
+// New creates a light client pinned to a genesis header hash.
+func New(genesis chash.Hash, params consensus.Params) *Client {
+	return &Client{genesis: genesis, params: params}
+}
+
+// Sync validates and adopts a full header chain, replacing any previous
+// state if the new chain is longer (longest-chain rule). This is the linear
+// bootstrap the paper measures in Fig. 7b.
+func (c *Client) Sync(headers []*chain.Header) error {
+	if len(headers) == 0 {
+		return fmt.Errorf("%w: empty header chain", ErrBrokenChain)
+	}
+	if headers[0].Hash() != c.genesis {
+		return fmt.Errorf("%w: got %s", ErrGenesisMismatch, headers[0].Hash())
+	}
+	if headers[0].Height != 0 {
+		return fmt.Errorf("%w: first header has height %d", ErrBrokenChain, headers[0].Height)
+	}
+	for i := 1; i < len(headers); i++ {
+		h := headers[i]
+		if h.Height != headers[i-1].Height+1 {
+			return fmt.Errorf("%w: height %d at position %d", ErrBrokenChain, h.Height, i)
+		}
+		if h.PrevHash != headers[i-1].Hash() {
+			return fmt.Errorf("%w: link broken at height %d", ErrBrokenChain, h.Height)
+		}
+		if err := consensus.Verify(c.params, h); err != nil {
+			return fmt.Errorf("lightclient: header %d: %w", h.Height, err)
+		}
+	}
+	if len(c.headers) >= len(headers) {
+		return fmt.Errorf("lightclient: refusing shorter chain (%d ≤ %d headers)", len(headers), len(c.headers))
+	}
+	c.headers = headers
+	return nil
+}
+
+// Append validates and adopts one new header extending the current tip.
+func (c *Client) Append(h *chain.Header) error {
+	if len(c.headers) == 0 {
+		if h.Hash() != c.genesis {
+			return fmt.Errorf("%w: got %s", ErrGenesisMismatch, h.Hash())
+		}
+		c.headers = append(c.headers, h)
+		return nil
+	}
+	tip := c.headers[len(c.headers)-1]
+	if h.Height != tip.Height+1 || h.PrevHash != tip.Hash() {
+		return fmt.Errorf("%w: header %d does not extend tip %d", ErrBrokenChain, h.Height, tip.Height)
+	}
+	if err := consensus.Verify(c.params, h); err != nil {
+		return err
+	}
+	c.headers = append(c.headers, h)
+	return nil
+}
+
+// Height returns the tip height (0 before sync).
+func (c *Client) Height() uint64 {
+	if len(c.headers) == 0 {
+		return 0
+	}
+	return c.headers[len(c.headers)-1].Height
+}
+
+// Len returns the number of stored headers.
+func (c *Client) Len() int {
+	return len(c.headers)
+}
+
+// Header returns the stored header at the given height.
+func (c *Client) Header(height uint64) (*chain.Header, error) {
+	if height >= uint64(len(c.headers)) {
+		return nil, fmt.Errorf("lightclient: no header at height %d", height)
+	}
+	return c.headers[height], nil
+}
+
+// StorageSize is the client's persistent footprint in bytes: every header it
+// has synchronized — the linear curve of Fig. 7a.
+func (c *Client) StorageSize() int {
+	size := 0
+	for _, h := range c.headers {
+		size += h.EncodedSize()
+	}
+	return size
+}

@@ -1,0 +1,164 @@
+package lightclient
+
+import (
+	"errors"
+	"testing"
+
+	"dcert/internal/chain"
+	"dcert/internal/consensus"
+)
+
+// buildHeaders seals a linear header chain of the given length (excluding
+// genesis) and returns all headers including genesis.
+func buildHeaders(t *testing.T, n int, params consensus.Params) []*chain.Header {
+	t.Helper()
+	genesis := &chain.Header{Height: 0, Time: 1, Consensus: chain.ConsensusProof{Difficulty: params.Difficulty}}
+	if err := consensus.Seal(params, genesis); err != nil {
+		t.Fatalf("Seal genesis: %v", err)
+	}
+	out := []*chain.Header{genesis}
+	for i := 1; i <= n; i++ {
+		h := &chain.Header{Height: uint64(i), PrevHash: out[i-1].Hash(), Time: uint64(i + 1)}
+		if err := consensus.Seal(params, h); err != nil {
+			t.Fatalf("Seal %d: %v", i, err)
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+func TestSyncValidChain(t *testing.T) {
+	params := consensus.Params{Difficulty: 4}
+	hdrs := buildHeaders(t, 20, params)
+	c := New(hdrs[0].Hash(), params)
+	if err := c.Sync(hdrs); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if c.Height() != 20 || c.Len() != 21 {
+		t.Fatalf("Height=%d Len=%d", c.Height(), c.Len())
+	}
+	h, err := c.Header(7)
+	if err != nil {
+		t.Fatalf("Header: %v", err)
+	}
+	if h.Height != 7 {
+		t.Fatalf("Header(7).Height = %d", h.Height)
+	}
+}
+
+func TestSyncRejectsWrongGenesis(t *testing.T) {
+	params := consensus.Params{Difficulty: 4}
+	hdrs := buildHeaders(t, 3, params)
+	other := buildHeaders(t, 0, params)
+	other[0].Time = 999 // different genesis
+	c := New(other[0].Hash(), params)
+	if err := c.Sync(hdrs); !errors.Is(err, ErrGenesisMismatch) {
+		t.Fatalf("want ErrGenesisMismatch, got %v", err)
+	}
+}
+
+func TestSyncRejectsBrokenLink(t *testing.T) {
+	params := consensus.Params{Difficulty: 4}
+	hdrs := buildHeaders(t, 10, params)
+	hdrs[5].PrevHash = hdrs[3].Hash() // break the chain
+	if err := consensus.Seal(params, hdrs[5]); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	c := New(hdrs[0].Hash(), params)
+	if err := c.Sync(hdrs); !errors.Is(err, ErrBrokenChain) {
+		t.Fatalf("want ErrBrokenChain, got %v", err)
+	}
+}
+
+func TestSyncRejectsBadPoW(t *testing.T) {
+	params := consensus.Params{Difficulty: 12}
+	hdrs := buildHeaders(t, 5, params)
+	hdrs[3].Consensus.Nonce = 0xdeadbeef
+	// Relink so only PoW is wrong.
+	for i := 4; i < len(hdrs); i++ {
+		hdrs[i].PrevHash = hdrs[i-1].Hash()
+		if err := consensus.Seal(params, hdrs[i]); err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+	}
+	c := New(hdrs[0].Hash(), params)
+	err := c.Sync(hdrs)
+	if err == nil {
+		t.Skip("lucky nonce met the target")
+	}
+	if !errors.Is(err, consensus.ErrBadProof) {
+		t.Fatalf("want ErrBadProof, got %v", err)
+	}
+}
+
+func TestSyncRefusesShorterChain(t *testing.T) {
+	params := consensus.Params{Difficulty: 4}
+	hdrs := buildHeaders(t, 10, params)
+	c := New(hdrs[0].Hash(), params)
+	if err := c.Sync(hdrs); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := c.Sync(hdrs[:5]); err == nil {
+		t.Fatal("must refuse a shorter chain")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	params := consensus.Params{Difficulty: 4}
+	hdrs := buildHeaders(t, 5, params)
+	c := New(hdrs[0].Hash(), params)
+	for i, h := range hdrs {
+		if err := c.Append(h); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	if c.Height() != 5 {
+		t.Fatalf("Height = %d", c.Height())
+	}
+	// Appending a non-extending header fails.
+	if err := c.Append(hdrs[2]); !errors.Is(err, ErrBrokenChain) {
+		t.Fatalf("want ErrBrokenChain, got %v", err)
+	}
+}
+
+func TestStorageSizeGrowsLinearly(t *testing.T) {
+	params := consensus.Params{Difficulty: 4}
+	hdrs := buildHeaders(t, 100, params)
+	c := New(hdrs[0].Hash(), params)
+	if err := c.Sync(hdrs[:51]); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	half := c.StorageSize()
+	if err := c.Sync(hdrs); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	full := c.StorageSize()
+	perHeader := half / 51
+	if half%51 != 0 || full != perHeader*101 {
+		t.Fatalf("storage not linear: half=%d full=%d", half, full)
+	}
+}
+
+func TestHeaderOutOfRange(t *testing.T) {
+	params := consensus.Params{Difficulty: 4}
+	hdrs := buildHeaders(t, 2, params)
+	c := New(hdrs[0].Hash(), params)
+	if err := c.Sync(hdrs); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if _, err := c.Header(99); err == nil {
+		t.Fatal("want error for out-of-range height")
+	}
+}
+
+func TestSyncEmpty(t *testing.T) {
+	c := New(chainHash(), consensus.Params{})
+	if err := c.Sync(nil); !errors.Is(err, ErrBrokenChain) {
+		t.Fatalf("want ErrBrokenChain, got %v", err)
+	}
+}
+
+func chainHash() (h [32]byte) {
+	h[0] = 1
+	return h
+}

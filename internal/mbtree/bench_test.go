@@ -1,0 +1,68 @@
+package mbtree
+
+import (
+	"fmt"
+	"testing"
+)
+
+func populated(b *testing.B, n int) *Tree {
+	b.Helper()
+	tr := NewDefault()
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(uint64(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			b.Fatalf("Insert: %v", err)
+		}
+	}
+	if _, err := tr.Root(); err != nil {
+		b.Fatalf("Root: %v", err)
+	}
+	return tr
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := populated(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(uint64(10000+i), []byte("v")); err != nil {
+			b.Fatalf("Insert: %v", err)
+		}
+	}
+}
+
+func BenchmarkRangeScan(b *testing.B) {
+	tr := populated(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Range(4000, 4200); err != nil {
+			b.Fatalf("Range: %v", err)
+		}
+	}
+}
+
+func BenchmarkWitnessForRange(b *testing.B) {
+	tr := populated(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.WitnessForRange(4000, 4200); err != nil {
+			b.Fatalf("WitnessForRange: %v", err)
+		}
+	}
+}
+
+func BenchmarkVerifyRange(b *testing.B) {
+	tr := populated(b, 10000)
+	root, err := tr.Root()
+	if err != nil {
+		b.Fatalf("Root: %v", err)
+	}
+	w, err := tr.WitnessForRange(4000, 4200)
+	if err != nil {
+		b.Fatalf("WitnessForRange: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := VerifyRange(DefaultOrder, root, 4000, 4200, w); err != nil {
+			b.Fatalf("VerifyRange: %v", err)
+		}
+	}
+}

@@ -1,0 +1,366 @@
+// Package mbtree implements the Merkle B⁺-tree of Li et al. (SIGMOD'06) used
+// as the lower level of DCert's two-level query index (Fig. 5): a B⁺-tree
+// keyed by version (timestamp / block height) whose every node carries a
+// digest, so that range queries come with integrity *and completeness*
+// proofs.
+//
+// Nodes are content-addressed, as in package mpt: a proof or update witness
+// is a set of node encodings, and a partial tree rebuilt from the root digest
+// resolves children by hash. Verifying a range query is re-running the range
+// scan on the partial tree — the scan succeeds only if every subtree
+// overlapping the range is present and authentic, which yields completeness
+// for free.
+package mbtree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dcert/internal/chash"
+)
+
+// Package errors.
+var (
+	// ErrMissingNode is returned when a partial tree lacks a needed node.
+	ErrMissingNode = errors.New("mbtree: node not in witness")
+	// ErrBadNode is returned for malformed node encodings.
+	ErrBadNode = errors.New("mbtree: malformed node encoding")
+	// ErrBadOrder is returned for invalid tree fanout.
+	ErrBadOrder = errors.New("mbtree: order must be at least 3")
+	// ErrBadRange is returned when lo > hi.
+	ErrBadRange = errors.New("mbtree: invalid range")
+	// ErrCorrupt is returned when node invariants are violated during a
+	// verified walk (a malicious witness).
+	ErrCorrupt = errors.New("mbtree: node invariant violated")
+)
+
+// DefaultOrder is the default fanout.
+const DefaultOrder = 16
+
+// Entry is a versioned value stored in a leaf.
+type Entry struct {
+	// Version is the entry key (timestamp or block height).
+	Version uint64
+	// Value is the stored payload.
+	Value []byte
+}
+
+// node is a B⁺-tree node. Leaves hold entries; internal nodes hold separator
+// keys and children. children[i] covers versions in [keys[i-1], keys[i])
+// with keys[-1] = 0 and keys[n] = +inf; by construction keys[i] equals the
+// smallest version in children[i+1]'s subtree.
+type node struct {
+	leaf    bool
+	entries []Entry // leaf only
+	keys    []uint64
+	kids    []child // internal only
+	hash    chash.Hash
+	dirty   bool
+}
+
+// child references a subtree either in memory or by hash (unresolved).
+type child struct {
+	hash chash.Hash
+	n    *node
+}
+
+// Tree is a Merkle B⁺-tree. A Tree with a nil resolver is fully in memory;
+// NewPartial builds a stateless tree over a witness.
+//
+// Tree is not safe for concurrent use.
+type Tree struct {
+	root     *node
+	rootRef  chash.Hash // set when root itself is unresolved (partial tree)
+	order    int
+	resolver Resolver
+	size     int // entry count; -1 when unknown (partial trees)
+}
+
+// Resolver loads node encodings by hash.
+type Resolver interface {
+	// Node returns the canonical encoding of the node with the given hash,
+	// or ErrMissingNode if unavailable.
+	Node(h chash.Hash) ([]byte, error)
+}
+
+// New returns an empty in-memory tree with the given fanout.
+func New(order int) (*Tree, error) {
+	if order < 3 {
+		return nil, fmt.Errorf("%w: %d", ErrBadOrder, order)
+	}
+	return &Tree{order: order}, nil
+}
+
+// NewDefault returns an empty tree with DefaultOrder fanout.
+func NewDefault() *Tree {
+	t, err := New(DefaultOrder)
+	if err != nil {
+		// DefaultOrder is a valid constant; this cannot fail.
+		panic(err)
+	}
+	return t
+}
+
+// NewPartial returns a stateless tree rooted at root that resolves nodes from
+// r. A zero root is the empty tree.
+func NewPartial(order int, root chash.Hash, r Resolver) (*Tree, error) {
+	if order < 3 {
+		return nil, fmt.Errorf("%w: %d", ErrBadOrder, order)
+	}
+	return &Tree{order: order, rootRef: root, resolver: r, size: -1}, nil
+}
+
+// Order returns the tree fanout.
+func (t *Tree) Order() int {
+	return t.order
+}
+
+// Len returns the entry count (-1 for partial trees, where it is unknown).
+func (t *Tree) Len() int {
+	return t.size
+}
+
+// Root returns the root digest (chash.Zero for an empty tree), recomputing
+// dirty nodes.
+func (t *Tree) Root() (chash.Hash, error) {
+	if t.root == nil {
+		if !t.rootRef.IsZero() {
+			return t.rootRef, nil
+		}
+		return chash.Zero, nil
+	}
+	return t.hashRec(t.root)
+}
+
+// loadRoot materializes the root for partial trees.
+func (t *Tree) loadRoot() (*node, error) {
+	if t.root != nil {
+		return t.root, nil
+	}
+	if t.rootRef.IsZero() {
+		return nil, nil
+	}
+	n, err := t.resolveHash(t.rootRef)
+	if err != nil {
+		return nil, err
+	}
+	t.root = n
+	return n, nil
+}
+
+func (t *Tree) resolveHash(h chash.Hash) (*node, error) {
+	if t.resolver == nil {
+		return nil, fmt.Errorf("%w: %s", ErrMissingNode, h)
+	}
+	raw, err := t.resolver.Node(h)
+	if err != nil {
+		return nil, err
+	}
+	if chash.Sum(chash.DomainIndex, raw) != h {
+		return nil, fmt.Errorf("%w: witness bytes do not hash to reference", ErrBadNode)
+	}
+	return decodeNode(h, raw)
+}
+
+func (t *Tree) resolveChild(c *child) (*node, error) {
+	if c.n != nil {
+		return c.n, nil
+	}
+	n, err := t.resolveHash(c.hash)
+	if err != nil {
+		return nil, err
+	}
+	c.n = n
+	return n, nil
+}
+
+// Get returns the value at the exact version, or nil if absent.
+func (t *Tree) Get(version uint64) ([]byte, error) {
+	n, err := t.loadRoot()
+	if err != nil {
+		return nil, err
+	}
+	for n != nil {
+		if n.leaf {
+			i := sort.Search(len(n.entries), func(i int) bool { return n.entries[i].Version >= version })
+			if i < len(n.entries) && n.entries[i].Version == version {
+				return n.entries[i].Value, nil
+			}
+			return nil, nil
+		}
+		idx := childIndex(n.keys, version)
+		c, err := t.resolveChild(&n.kids[idx])
+		if err != nil {
+			return nil, err
+		}
+		n = c
+	}
+	return nil, nil
+}
+
+// childIndex returns which child of an internal node covers version.
+func childIndex(keys []uint64, version uint64) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] > version })
+}
+
+// Insert stores value at version, overwriting any existing entry.
+func (t *Tree) Insert(version uint64, value []byte) error {
+	val := make([]byte, len(value))
+	copy(val, value)
+
+	root, err := t.loadRoot()
+	if err != nil {
+		return err
+	}
+	if root == nil {
+		t.root = &node{leaf: true, entries: []Entry{{Version: version, Value: val}}, dirty: true}
+		t.rootRef = chash.Zero
+		if t.size >= 0 {
+			t.size++
+		}
+		return nil
+	}
+	split, promoted, inserted, err := t.insert(root, version, val)
+	if err != nil {
+		return err
+	}
+	if split != nil {
+		// Grow a new root above the old one.
+		t.root = &node{
+			leaf:  false,
+			keys:  []uint64{promoted},
+			kids:  []child{{n: root}, {n: split}},
+			dirty: true,
+		}
+		t.rootRef = chash.Zero
+	}
+	if inserted && t.size >= 0 {
+		t.size++
+	}
+	return nil
+}
+
+// insert adds the entry under n. If n split, it returns the new right
+// sibling and the separator key to promote into the parent; inserted
+// reports whether a new entry was created (vs. overwritten).
+func (t *Tree) insert(n *node, version uint64, value []byte) (split *node, promoted uint64, inserted bool, err error) {
+	n.dirty = true
+	if n.leaf {
+		i := sort.Search(len(n.entries), func(i int) bool { return n.entries[i].Version >= version })
+		if i < len(n.entries) && n.entries[i].Version == version {
+			n.entries[i].Value = value
+			return nil, 0, false, nil
+		}
+		n.entries = append(n.entries, Entry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = Entry{Version: version, Value: value}
+		if len(n.entries) < t.order {
+			return nil, 0, true, nil
+		}
+		mid := len(n.entries) / 2
+		right := &node{leaf: true, entries: append([]Entry(nil), n.entries[mid:]...), dirty: true}
+		n.entries = n.entries[:mid]
+		return right, right.entries[0].Version, true, nil
+	}
+
+	idx := childIndex(n.keys, version)
+	c, err := t.resolveChild(&n.kids[idx])
+	if err != nil {
+		return nil, 0, false, err
+	}
+	childSplit, childPromoted, inserted, err := t.insert(c, version, value)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	n.kids[idx] = child{n: c}
+	if childSplit == nil {
+		return nil, 0, inserted, nil
+	}
+	// Insert the split sibling after idx with the promoted separator.
+	n.keys = append(n.keys, 0)
+	copy(n.keys[idx+1:], n.keys[idx:])
+	n.keys[idx] = childPromoted
+	n.kids = append(n.kids, child{})
+	copy(n.kids[idx+2:], n.kids[idx+1:])
+	n.kids[idx+1] = child{n: childSplit}
+	if len(n.kids) <= t.order {
+		return nil, 0, inserted, nil
+	}
+	// Split this internal node: the middle separator moves up.
+	midKey := len(n.keys) / 2
+	promoted = n.keys[midKey]
+	right := &node{
+		leaf:  false,
+		keys:  append([]uint64(nil), n.keys[midKey+1:]...),
+		kids:  append([]child(nil), n.kids[midKey+1:]...),
+		dirty: true,
+	}
+	n.keys = n.keys[:midKey]
+	n.kids = n.kids[:midKey+1]
+	return right, promoted, inserted, nil
+}
+
+// Range returns all entries with versions in [lo, hi], in order.
+func (t *Tree) Range(lo, hi uint64) ([]Entry, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("%w: [%d, %d]", ErrBadRange, lo, hi)
+	}
+	root, err := t.loadRoot()
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	if root == nil {
+		return out, nil
+	}
+	if err := t.rangeWalk(root, lo, hi, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// rangeWalk descends into every child overlapping [lo, hi], validating node
+// invariants so that walks over hostile witnesses cannot fabricate results.
+func (t *Tree) rangeWalk(n *node, lo, hi uint64, out *[]Entry) error {
+	if n.leaf {
+		prev := int64(-1)
+		for _, e := range n.entries {
+			if int64(e.Version) <= prev {
+				return fmt.Errorf("%w: unsorted leaf", ErrCorrupt)
+			}
+			prev = int64(e.Version)
+			if e.Version >= lo && e.Version <= hi {
+				*out = append(*out, e)
+			}
+		}
+		return nil
+	}
+	for i := 1; i < len(n.keys); i++ {
+		if n.keys[i-1] >= n.keys[i] {
+			return fmt.Errorf("%w: unsorted separators", ErrCorrupt)
+		}
+	}
+	for i := range n.kids {
+		// Child i covers [keys[i-1], keys[i]).
+		cLo := uint64(0)
+		if i > 0 {
+			cLo = n.keys[i-1]
+		}
+		cHi := uint64(1<<64 - 1)
+		if i < len(n.keys) {
+			cHi = n.keys[i] - 1
+		}
+		if cHi < lo || cLo > hi {
+			continue
+		}
+		c, err := t.resolveChild(&n.kids[i])
+		if err != nil {
+			return err
+		}
+		if err := t.rangeWalk(c, lo, hi, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

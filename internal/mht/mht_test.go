@@ -1,0 +1,352 @@
+package mht
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dcert/internal/chash"
+)
+
+func payloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("leaf-%d", i))
+	}
+	return out
+}
+
+func TestBuildRejectsEmpty(t *testing.T) {
+	if _, err := Build(nil); !errors.Is(err, ErrEmptyTree) {
+		t.Fatalf("want ErrEmptyTree, got %v", err)
+	}
+	if _, err := BuildFromDigests(nil); !errors.Is(err, ErrEmptyTree) {
+		t.Fatalf("want ErrEmptyTree, got %v", err)
+	}
+}
+
+func TestRootMatchesPaperExample(t *testing.T) {
+	// Fig. 1: four states S1..S4; root = H(H(h1||h2) || H(h3||h4)).
+	leaves := payloads(4)
+	tree, err := Build(leaves)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	h1 := chash.Leaf(leaves[0])
+	h2 := chash.Leaf(leaves[1])
+	h3 := chash.Leaf(leaves[2])
+	h4 := chash.Leaf(leaves[3])
+	want := chash.Node(chash.Node(h1, h2), chash.Node(h3, h4))
+	if tree.Root() != want {
+		t.Fatal("root does not match hand-computed Fig. 1 structure")
+	}
+}
+
+func TestSingleLeafTree(t *testing.T) {
+	tree, err := Build(payloads(1))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if tree.Root() != chash.Leaf([]byte("leaf-0")) {
+		t.Fatal("single-leaf root must equal the leaf digest")
+	}
+	p, err := tree.Prove(0)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if err := p.Verify(tree.Root(), []byte("leaf-0")); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestProveVerifyAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33, 100} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			leaves := payloads(n)
+			tree, err := Build(leaves)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			for i := 0; i < n; i++ {
+				p, err := tree.Prove(i)
+				if err != nil {
+					t.Fatalf("Prove(%d): %v", i, err)
+				}
+				if err := p.Verify(tree.Root(), leaves[i]); err != nil {
+					t.Fatalf("Verify(%d): %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsWrongLeaf(t *testing.T) {
+	leaves := payloads(8)
+	tree, err := Build(leaves)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	p, err := tree.Prove(3)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if err := p.Verify(tree.Root(), []byte("tampered")); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("want ErrBadProof, got %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongRoot(t *testing.T) {
+	leaves := payloads(8)
+	tree, err := Build(leaves)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	p, err := tree.Prove(3)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if err := p.Verify(chash.Leaf([]byte("bogus root")), leaves[3]); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("want ErrBadProof, got %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongIndex(t *testing.T) {
+	leaves := payloads(8)
+	tree, err := Build(leaves)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	p, err := tree.Prove(3)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	p.Index = 4 // claim a different position
+	if err := p.Verify(tree.Root(), leaves[3]); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("want ErrBadProof, got %v", err)
+	}
+}
+
+func TestVerifyRejectsTruncatedSiblings(t *testing.T) {
+	tree, err := Build(payloads(8))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	p, err := tree.Prove(0)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	p.Siblings = p.Siblings[:len(p.Siblings)-1]
+	if err := p.Verify(tree.Root(), []byte("leaf-0")); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("want ErrBadProof, got %v", err)
+	}
+}
+
+func TestProveIndexRange(t *testing.T) {
+	tree, err := Build(payloads(4))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := tree.Prove(-1); !errors.Is(err, ErrIndexRange) {
+		t.Fatalf("want ErrIndexRange, got %v", err)
+	}
+	if _, err := tree.Prove(4); !errors.Is(err, ErrIndexRange) {
+		t.Fatalf("want ErrIndexRange, got %v", err)
+	}
+}
+
+func TestLeafDigest(t *testing.T) {
+	leaves := payloads(4)
+	tree, err := Build(leaves)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	d, err := tree.LeafDigest(2)
+	if err != nil {
+		t.Fatalf("LeafDigest: %v", err)
+	}
+	if d != chash.Leaf(leaves[2]) {
+		t.Fatal("LeafDigest mismatch")
+	}
+	if _, err := tree.LeafDigest(99); !errors.Is(err, ErrIndexRange) {
+		t.Fatalf("want ErrIndexRange, got %v", err)
+	}
+}
+
+func TestMultiProofRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 16, 31, 64} {
+		leaves := payloads(n)
+		tree, err := Build(leaves)
+		if err != nil {
+			t.Fatalf("Build(%d): %v", n, err)
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		for trial := 0; trial < 5; trial++ {
+			k := 1 + rng.Intn(n)
+			idx := rng.Perm(n)[:k]
+			mp, err := tree.ProveMulti(idx)
+			if err != nil {
+				t.Fatalf("ProveMulti: %v", err)
+			}
+			digests := make(map[int]chash.Hash, k)
+			for _, i := range idx {
+				digests[i] = chash.Leaf(leaves[i])
+			}
+			if err := mp.Verify(tree.Root(), digests); err != nil {
+				t.Fatalf("n=%d k=%d Verify: %v", n, k, err)
+			}
+		}
+	}
+}
+
+func TestMultiProofRejectsTamperedLeaf(t *testing.T) {
+	leaves := payloads(16)
+	tree, err := Build(leaves)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	mp, err := tree.ProveMulti([]int{2, 7, 11})
+	if err != nil {
+		t.Fatalf("ProveMulti: %v", err)
+	}
+	digests := map[int]chash.Hash{
+		2:  chash.Leaf(leaves[2]),
+		7:  chash.Leaf([]byte("tampered")),
+		11: chash.Leaf(leaves[11]),
+	}
+	if err := mp.Verify(tree.Root(), digests); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("want ErrBadProof, got %v", err)
+	}
+}
+
+func TestMultiProofRejectsMissingDigest(t *testing.T) {
+	tree, err := Build(payloads(8))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	mp, err := tree.ProveMulti([]int{1, 5})
+	if err != nil {
+		t.Fatalf("ProveMulti: %v", err)
+	}
+	if err := mp.Verify(tree.Root(), map[int]chash.Hash{1: chash.Leaf([]byte("leaf-1"))}); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("want ErrBadProof, got %v", err)
+	}
+}
+
+func TestMultiProofRejectsExtraDigest(t *testing.T) {
+	leaves := payloads(8)
+	tree, err := Build(leaves)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	mp, err := tree.ProveMulti([]int{1})
+	if err != nil {
+		t.Fatalf("ProveMulti: %v", err)
+	}
+	digests := map[int]chash.Hash{
+		1: chash.Leaf(leaves[1]),
+		2: chash.Leaf(leaves[2]),
+	}
+	if err := mp.Verify(tree.Root(), digests); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("want ErrBadProof, got %v", err)
+	}
+}
+
+func TestMultiProofDeduplicatesIndices(t *testing.T) {
+	leaves := payloads(8)
+	tree, err := Build(leaves)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	mp, err := tree.ProveMulti([]int{3, 3, 3})
+	if err != nil {
+		t.Fatalf("ProveMulti: %v", err)
+	}
+	if len(mp.Indices) != 1 {
+		t.Fatalf("want 1 deduplicated index, got %d", len(mp.Indices))
+	}
+	if err := mp.Verify(tree.Root(), map[int]chash.Hash{3: chash.Leaf(leaves[3])}); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestMultiProofAllLeavesNeedsNoFills(t *testing.T) {
+	leaves := payloads(8)
+	tree, err := Build(leaves)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	mp, err := tree.ProveMulti([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	if err != nil {
+		t.Fatalf("ProveMulti: %v", err)
+	}
+	if len(mp.Fills) != 0 {
+		t.Fatalf("proving all leaves should need 0 fills, got %d", len(mp.Fills))
+	}
+}
+
+func TestProofQuick(t *testing.T) {
+	// Property: for random tree sizes and indices, Prove/Verify round-trips.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		leaves := payloads(n)
+		tree, err := Build(leaves)
+		if err != nil {
+			return false
+		}
+		i := rng.Intn(n)
+		p, err := tree.Prove(i)
+		if err != nil {
+			return false
+		}
+		return p.Verify(tree.Root(), leaves[i]) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeDeterminism(t *testing.T) {
+	a, err := Build(payloads(13))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	b, err := Build(payloads(13))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if a.Root() != b.Root() {
+		t.Fatal("tree construction must be deterministic")
+	}
+	if a.Len() != 13 {
+		t.Fatalf("Len = %d, want 13", a.Len())
+	}
+}
+
+func TestProofMarshalRoundTrip(t *testing.T) {
+	leaves := payloads(13)
+	tree, err := Build(leaves)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	p, err := tree.Prove(7)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	parsed, err := UnmarshalProof(p.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalProof: %v", err)
+	}
+	if err := parsed.Verify(tree.Root(), leaves[7]); err != nil {
+		t.Fatalf("round-tripped proof must verify: %v", err)
+	}
+	if p.EncodedSize() != len(p.Marshal()) {
+		t.Fatalf("EncodedSize %d != Marshal len %d", p.EncodedSize(), len(p.Marshal()))
+	}
+	if _, err := UnmarshalProof([]byte{1, 2}); err == nil {
+		t.Fatal("want error for garbage proof")
+	}
+}

@@ -1,0 +1,96 @@
+package mpt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// populated builds a trie with n keys and returns it hashed.
+func populated(b *testing.B, n int) *Trie {
+	b.Helper()
+	tr := New()
+	for i := 0; i < n; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("acct-%08d", i)), []byte(fmt.Sprintf("balance-%d", i))); err != nil {
+			b.Fatalf("Put: %v", err)
+		}
+	}
+	if _, err := tr.Hash(); err != nil {
+		b.Fatalf("Hash: %v", err)
+	}
+	return tr
+}
+
+func BenchmarkTriePut(b *testing.B) {
+	tr := populated(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("acct-%08d", i%10000)), []byte(fmt.Sprintf("new-%d", i))); err != nil {
+			b.Fatalf("Put: %v", err)
+		}
+	}
+}
+
+func BenchmarkTrieGet(b *testing.B) {
+	tr := populated(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Get([]byte(fmt.Sprintf("acct-%08d", i%10000))); err != nil {
+			b.Fatalf("Get: %v", err)
+		}
+	}
+}
+
+func BenchmarkTrieHashAfterWrite(b *testing.B) {
+	tr := populated(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("acct-%08d", i%10000)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			b.Fatalf("Put: %v", err)
+		}
+		if _, err := tr.Hash(); err != nil {
+			b.Fatalf("Hash: %v", err)
+		}
+	}
+}
+
+func BenchmarkWitnessForKeys(b *testing.B) {
+	tr := populated(b, 10000)
+	keys := make([][]byte, 32)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("acct-%08d", i*311%10000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.WitnessForKeys(keys); err != nil {
+			b.Fatalf("WitnessForKeys: %v", err)
+		}
+	}
+}
+
+func BenchmarkStatelessUpdate(b *testing.B) {
+	tr := populated(b, 10000)
+	root, err := tr.Hash()
+	if err != nil {
+		b.Fatalf("Hash: %v", err)
+	}
+	keys := make([][]byte, 32)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("acct-%08d", i*311%10000))
+	}
+	w, err := tr.WitnessForKeys(keys)
+	if err != nil {
+		b.Fatalf("WitnessForKeys: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt := NewPartial(root, w)
+		for _, k := range keys {
+			if err := pt.Put(k, []byte("updated")); err != nil {
+				b.Fatalf("Put: %v", err)
+			}
+		}
+		if _, err := pt.Hash(); err != nil {
+			b.Fatalf("Hash: %v", err)
+		}
+	}
+}

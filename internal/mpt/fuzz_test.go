@@ -1,0 +1,81 @@
+package mpt
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func FuzzUnmarshalWitness(f *testing.F) {
+	tr := New()
+	for i := 0; i < 30; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			f.Fatalf("Put: %v", err)
+		}
+	}
+	if _, err := tr.Hash(); err != nil {
+		f.Fatalf("Hash: %v", err)
+	}
+	w, err := tr.Prove([]byte("k7"))
+	if err != nil {
+		f.Fatalf("Prove: %v", err)
+	}
+	f.Add(w.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 3, 0xff})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		parsed, err := UnmarshalWitness(raw)
+		if err != nil {
+			return
+		}
+		// Decoded witnesses are content-addressed, so re-marshal is a
+		// permutation-stable canonical form.
+		again, err := UnmarshalWitness(parsed.Marshal())
+		if err != nil {
+			t.Fatalf("re-unmarshal: %v", err)
+		}
+		if !bytes.Equal(again.Marshal(), parsed.Marshal()) {
+			t.Fatal("witness marshal not canonical")
+		}
+	})
+}
+
+// FuzzPartialTrieOps throws fuzzed key/value operations at a partial trie
+// built from a hostile (fuzz-mutated) witness; nothing may panic, and
+// successful reads must come from authenticated nodes only.
+func FuzzPartialTrieOps(f *testing.F) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("acct-%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			f.Fatalf("Put: %v", err)
+		}
+	}
+	root, err := tr.Hash()
+	if err != nil {
+		f.Fatalf("Hash: %v", err)
+	}
+	w, err := tr.WitnessForKeys([][]byte{[]byte("acct-3"), []byte("acct-7")})
+	if err != nil {
+		f.Fatalf("WitnessForKeys: %v", err)
+	}
+	f.Add(w.Marshal(), []byte("acct-3"))
+	f.Add(w.Marshal(), []byte("zzz"))
+	f.Fuzz(func(t *testing.T, rawWitness, key []byte) {
+		parsed, err := UnmarshalWitness(rawWitness)
+		if err != nil {
+			return
+		}
+		pt := NewPartial(root, parsed)
+		if v, err := pt.Get(key); err == nil && v != nil {
+			// Any successful read must match the real trie (content
+			// addressing makes forgery impossible).
+			want, err := tr.Get(key)
+			if err != nil {
+				t.Fatalf("real Get: %v", err)
+			}
+			if !bytes.Equal(v, want) {
+				t.Fatalf("partial trie returned forged value %q for %q", v, key)
+			}
+		}
+	})
+}

@@ -1,0 +1,403 @@
+package mpt
+
+import (
+	"bytes"
+	"fmt"
+
+	"dcert/internal/chash"
+)
+
+// Resolver loads node encodings by hash. Full tries need none; partial tries
+// resolve from a Witness.
+type Resolver interface {
+	// Node returns the canonical encoding of the node with the given hash,
+	// or ErrMissingNode if unavailable.
+	Node(h chash.Hash) ([]byte, error)
+}
+
+// Trie is a Merkle Patricia Trie. A Trie with a nil resolver holds all nodes
+// in memory; a Trie built by NewPartial resolves nodes lazily from a witness.
+//
+// Trie is not safe for concurrent use.
+type Trie struct {
+	root     node
+	resolver Resolver
+}
+
+// New returns an empty in-memory trie.
+func New() *Trie {
+	return &Trie{}
+}
+
+// NewPartial returns a stateless trie rooted at root whose nodes resolve from
+// the given resolver (typically a Witness). A zero root is the empty trie.
+func NewPartial(root chash.Hash, r Resolver) *Trie {
+	t := &Trie{resolver: r}
+	if !root.IsZero() {
+		t.root = hashNode(root)
+	}
+	return t
+}
+
+// resolve turns a hashNode reference into a concrete node.
+func (t *Trie) resolve(n node) (node, error) {
+	h, ok := n.(hashNode)
+	if !ok {
+		return n, nil
+	}
+	if t.resolver == nil {
+		return nil, fmt.Errorf("%w: no resolver for %s", ErrMissingNode, chash.Hash(h))
+	}
+	raw, err := t.resolver.Node(chash.Hash(h))
+	if err != nil {
+		return nil, err
+	}
+	if chash.Sum(chash.DomainNode, raw) != chash.Hash(h) {
+		return nil, fmt.Errorf("%w: witness bytes do not hash to reference", ErrBadNode)
+	}
+	return decodeNode(chash.Hash(h), raw)
+}
+
+// Get returns the value stored at key, or nil if absent. A nil error with a
+// nil value is a proven absence (in partial tries, reaching it required only
+// witnessed nodes).
+func (t *Trie) Get(key []byte) ([]byte, error) {
+	val, newRoot, err := t.get(t.root, keyToNibbles(key))
+	if err != nil {
+		return nil, err
+	}
+	t.root = newRoot
+	return val, nil
+}
+
+// get returns the value and the (possibly resolved) subtree root.
+func (t *Trie) get(n node, path []byte) ([]byte, node, error) {
+	if n == nil {
+		return nil, nil, nil
+	}
+	resolved, err := t.resolve(n)
+	if err != nil {
+		return nil, n, err
+	}
+	n = resolved
+	switch v := n.(type) {
+	case *leafNode:
+		if bytes.Equal(v.path, path) {
+			return v.value, n, nil
+		}
+		return nil, n, nil
+	case *extNode:
+		if len(path) < len(v.path) || !bytes.Equal(v.path, path[:len(v.path)]) {
+			return nil, n, nil
+		}
+		val, child, err := t.get(v.child, path[len(v.path):])
+		v.child = child
+		return val, n, err
+	case *branchNode:
+		if len(path) == 0 {
+			return v.value, n, nil
+		}
+		val, child, err := t.get(v.children[path[0]], path[1:])
+		v.children[path[0]] = child
+		return val, n, err
+	default:
+		return nil, n, fmt.Errorf("mpt: get on unexpected node %T", n)
+	}
+}
+
+// Put stores value at key, replacing any existing value. Empty values are
+// rejected; use Delete to remove a key.
+func (t *Trie) Put(key, value []byte) error {
+	if len(value) == 0 {
+		return ErrEmptyValue
+	}
+	val := make([]byte, len(value))
+	copy(val, value)
+	newRoot, err := t.put(t.root, keyToNibbles(key), val)
+	if err != nil {
+		return err
+	}
+	t.root = newRoot
+	return nil
+}
+
+func (t *Trie) put(n node, path []byte, value []byte) (node, error) {
+	if n == nil {
+		return &leafNode{path: path, value: value, dirty: true}, nil
+	}
+	resolved, err := t.resolve(n)
+	if err != nil {
+		return n, err
+	}
+	n = resolved
+	switch v := n.(type) {
+	case *leafNode:
+		cp := commonPrefixLen(v.path, path)
+		if cp == len(v.path) && cp == len(path) {
+			v.value = value
+			v.dirty = true
+			return v, nil
+		}
+		// Split into a branch under a shared-prefix extension.
+		branch := &branchNode{dirty: true}
+		if err := placeInBranch(branch, v.path[cp:], &leafNode{value: v.value, dirty: true}); err != nil {
+			return n, err
+		}
+		if err := placeInBranch(branch, path[cp:], &leafNode{value: value, dirty: true}); err != nil {
+			return n, err
+		}
+		return wrapExt(path[:cp], branch), nil
+	case *extNode:
+		cp := commonPrefixLen(v.path, path)
+		if cp == len(v.path) {
+			child, err := t.put(v.child, path[cp:], value)
+			if err != nil {
+				return n, err
+			}
+			v.child = child
+			v.dirty = true
+			return v, nil
+		}
+		// Diverge inside the extension run.
+		branch := &branchNode{dirty: true}
+		// Remainder of the extension becomes a child of the branch.
+		rest := v.path[cp:]
+		sub := v.child
+		if len(rest) > 1 {
+			sub = &extNode{path: rest[1:], child: v.child, dirty: true}
+		}
+		branch.children[rest[0]] = sub
+		if err := placeInBranch(branch, path[cp:], &leafNode{value: value, dirty: true}); err != nil {
+			return n, err
+		}
+		return wrapExt(path[:cp], branch), nil
+	case *branchNode:
+		if len(path) == 0 {
+			v.value = value
+			v.dirty = true
+			return v, nil
+		}
+		child, err := t.put(v.children[path[0]], path[1:], value)
+		if err != nil {
+			return n, err
+		}
+		v.children[path[0]] = child
+		v.dirty = true
+		return v, nil
+	default:
+		return n, fmt.Errorf("mpt: put on unexpected node %T", n)
+	}
+}
+
+// placeInBranch stores a leaf (with its value in lf.value) under the branch
+// at the given relative path; an empty path lands in the branch's value slot.
+func placeInBranch(b *branchNode, path []byte, lf *leafNode) error {
+	if len(path) == 0 {
+		if b.value != nil {
+			return fmt.Errorf("mpt: duplicate terminal value at branch")
+		}
+		b.value = lf.value
+		return nil
+	}
+	lf.path = path[1:]
+	b.children[path[0]] = lf
+	return nil
+}
+
+// wrapExt wraps n in an extension node when prefix is non-empty.
+func wrapExt(prefix []byte, n node) node {
+	if len(prefix) == 0 {
+		return n
+	}
+	p := make([]byte, len(prefix))
+	copy(p, prefix)
+	return &extNode{path: p, child: n, dirty: true}
+}
+
+// Delete removes key from the trie. Deleting an absent key is a no-op.
+// On partial tries Delete may need sibling nodes beyond the key's own path;
+// if the witness lacks them, ErrMissingNode is returned.
+func (t *Trie) Delete(key []byte) error {
+	newRoot, err := t.del(t.root, keyToNibbles(key))
+	if err != nil {
+		return err
+	}
+	t.root = newRoot
+	return nil
+}
+
+func (t *Trie) del(n node, path []byte) (node, error) {
+	if n == nil {
+		return nil, nil
+	}
+	resolved, err := t.resolve(n)
+	if err != nil {
+		return n, err
+	}
+	n = resolved
+	switch v := n.(type) {
+	case *leafNode:
+		if bytes.Equal(v.path, path) {
+			return nil, nil
+		}
+		return n, nil
+	case *extNode:
+		if len(path) < len(v.path) || !bytes.Equal(v.path, path[:len(v.path)]) {
+			return n, nil
+		}
+		child, err := t.del(v.child, path[len(v.path):])
+		if err != nil {
+			return n, err
+		}
+		if child == nil {
+			return nil, nil
+		}
+		v.child = child
+		v.dirty = true
+		return t.collapseExt(v)
+	case *branchNode:
+		if len(path) == 0 {
+			if v.value == nil {
+				return n, nil
+			}
+			v.value = nil
+			v.dirty = true
+			return t.collapseBranch(v)
+		}
+		child, err := t.del(v.children[path[0]], path[1:])
+		if err != nil {
+			return n, err
+		}
+		v.children[path[0]] = child
+		v.dirty = true
+		return t.collapseBranch(v)
+	default:
+		return n, fmt.Errorf("mpt: delete on unexpected node %T", n)
+	}
+}
+
+// collapseExt merges an extension with a short child so the trie stays in
+// canonical form after deletions.
+func (t *Trie) collapseExt(v *extNode) (node, error) {
+	child, err := t.resolve(v.child)
+	if err != nil {
+		return nil, err
+	}
+	switch c := child.(type) {
+	case *leafNode:
+		return &leafNode{path: joinPaths(v.path, c.path), value: c.value, dirty: true}, nil
+	case *extNode:
+		return &extNode{path: joinPaths(v.path, c.path), child: c.child, dirty: true}, nil
+	default:
+		v.child = child
+		return v, nil
+	}
+}
+
+// collapseBranch restores canonical form when a branch drops to one referent.
+func (t *Trie) collapseBranch(v *branchNode) (node, error) {
+	live := -1
+	count := 0
+	for i, c := range v.children {
+		if c != nil {
+			live = i
+			count++
+		}
+	}
+	switch {
+	case count == 0 && v.value == nil:
+		return nil, nil
+	case count == 0:
+		return &leafNode{path: nil, value: v.value, dirty: true}, nil
+	case count == 1 && v.value == nil:
+		child, err := t.resolve(v.children[live])
+		if err != nil {
+			return nil, err
+		}
+		prefix := []byte{byte(live)}
+		switch c := child.(type) {
+		case *leafNode:
+			return &leafNode{path: joinPaths(prefix, c.path), value: c.value, dirty: true}, nil
+		case *extNode:
+			return &extNode{path: joinPaths(prefix, c.path), child: c.child, dirty: true}, nil
+		case *branchNode:
+			return &extNode{path: prefix, child: c, dirty: true}, nil
+		default:
+			return nil, fmt.Errorf("mpt: collapse unexpected child %T", child)
+		}
+	default:
+		return v, nil
+	}
+}
+
+func joinPaths(a, b []byte) []byte {
+	out := make([]byte, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// Hash returns the root digest, recomputing dirty subtrees. The empty trie
+// hashes to chash.Zero.
+func (t *Trie) Hash() (chash.Hash, error) {
+	if t.root == nil {
+		return chash.Zero, nil
+	}
+	return t.hashRec(t.root)
+}
+
+func (t *Trie) hashRec(n node) (chash.Hash, error) {
+	if h, ok := n.cachedHash(); ok {
+		return h, nil
+	}
+	switch v := n.(type) {
+	case *leafNode:
+		raw, err := encodeNode(v)
+		if err != nil {
+			return chash.Zero, err
+		}
+		v.hash = chash.Sum(chash.DomainNode, raw)
+		v.dirty = false
+		return v.hash, nil
+	case *extNode:
+		if _, err := t.hashRec(v.child); err != nil {
+			return chash.Zero, err
+		}
+		raw, err := encodeNode(v)
+		if err != nil {
+			return chash.Zero, err
+		}
+		v.hash = chash.Sum(chash.DomainNode, raw)
+		v.dirty = false
+		return v.hash, nil
+	case *branchNode:
+		for _, c := range v.children {
+			if c == nil {
+				continue
+			}
+			if _, err := t.hashRec(c); err != nil {
+				return chash.Zero, err
+			}
+		}
+		raw, err := encodeNode(v)
+		if err != nil {
+			return chash.Zero, err
+		}
+		v.hash = chash.Sum(chash.DomainNode, raw)
+		v.dirty = false
+		return v.hash, nil
+	default:
+		return chash.Zero, fmt.Errorf("mpt: hash unexpected node %T", n)
+	}
+}
+
+// MustHash is Hash for tries known to be well-formed; it is used internally
+// after operations that already validated the structure.
+func (t *Trie) MustHash() chash.Hash {
+	h, err := t.Hash()
+	if err != nil {
+		// Only reachable via memory corruption or a package bug: every
+		// mutation path keeps the trie hashable.
+		panic(fmt.Sprintf("mpt: MustHash: %v", err))
+	}
+	return h
+}

@@ -1,0 +1,263 @@
+package mpt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dcert/internal/chash"
+)
+
+func mustPut(t *testing.T, tr *Trie, key, val string) {
+	t.Helper()
+	if err := tr.Put([]byte(key), []byte(val)); err != nil {
+		t.Fatalf("Put(%q): %v", key, err)
+	}
+}
+
+func mustGet(t *testing.T, tr *Trie, key string) []byte {
+	t.Helper()
+	v, err := tr.Get([]byte(key))
+	if err != nil {
+		t.Fatalf("Get(%q): %v", key, err)
+	}
+	return v
+}
+
+func mustHash(t *testing.T, tr *Trie) chash.Hash {
+	t.Helper()
+	h, err := tr.Hash()
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	return h
+}
+
+func TestEmptyTrie(t *testing.T) {
+	tr := New()
+	if h := mustHash(t, tr); !h.IsZero() {
+		t.Fatal("empty trie must hash to zero")
+	}
+	if v := mustGet(t, tr, "missing"); v != nil {
+		t.Fatal("empty trie Get must return nil")
+	}
+}
+
+func TestPutGetBasic(t *testing.T) {
+	tr := New()
+	mustPut(t, tr, "key", "value")
+	if got := mustGet(t, tr, "key"); !bytes.Equal(got, []byte("value")) {
+		t.Fatalf("Get = %q", got)
+	}
+	if got := mustGet(t, tr, "kex"); got != nil {
+		t.Fatalf("absent key returned %q", got)
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	tr := New()
+	mustPut(t, tr, "key", "v1")
+	h1 := mustHash(t, tr)
+	mustPut(t, tr, "key", "v2")
+	if got := mustGet(t, tr, "key"); !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("Get = %q", got)
+	}
+	if mustHash(t, tr) == h1 {
+		t.Fatal("overwrite must change the root")
+	}
+}
+
+func TestPutEmptyValueRejected(t *testing.T) {
+	tr := New()
+	if err := tr.Put([]byte("k"), nil); !errors.Is(err, ErrEmptyValue) {
+		t.Fatalf("want ErrEmptyValue, got %v", err)
+	}
+}
+
+func TestPrefixKeys(t *testing.T) {
+	// Keys where one is a strict prefix of another exercise branch values.
+	tr := New()
+	mustPut(t, tr, "do", "verb")
+	mustPut(t, tr, "dog", "animal")
+	mustPut(t, tr, "doge", "meme")
+	mustPut(t, tr, "", "root-value")
+
+	for key, want := range map[string]string{
+		"do": "verb", "dog": "animal", "doge": "meme", "": "root-value",
+	} {
+		if got := mustGet(t, tr, key); !bytes.Equal(got, []byte(want)) {
+			t.Fatalf("Get(%q) = %q, want %q", key, got, want)
+		}
+	}
+	if got := mustGet(t, tr, "d"); got != nil {
+		t.Fatalf("Get(d) = %q, want nil", got)
+	}
+}
+
+func TestDeterministicRootRegardlessOfInsertOrder(t *testing.T) {
+	kv := map[string]string{}
+	for i := 0; i < 100; i++ {
+		kv[fmt.Sprintf("key-%d", i)] = fmt.Sprintf("val-%d", i)
+	}
+	build := func(order []string) chash.Hash {
+		tr := New()
+		for _, k := range order {
+			mustPut(t, tr, k, kv[k])
+		}
+		return mustHash(t, tr)
+	}
+	var orderA, orderB []string
+	for k := range kv {
+		orderA = append(orderA, k)
+	}
+	orderB = append(orderB, orderA...)
+	rand.New(rand.NewSource(1)).Shuffle(len(orderB), func(i, j int) {
+		orderB[i], orderB[j] = orderB[j], orderB[i]
+	})
+	if build(orderA) != build(orderB) {
+		t.Fatal("root must be independent of insertion order")
+	}
+}
+
+func TestDeleteBasic(t *testing.T) {
+	tr := New()
+	mustPut(t, tr, "a", "1")
+	empty := mustHash(t, New())
+	mustPut(t, tr, "b", "2")
+	if err := tr.Delete([]byte("a")); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if got := mustGet(t, tr, "a"); got != nil {
+		t.Fatalf("deleted key returned %q", got)
+	}
+	if got := mustGet(t, tr, "b"); !bytes.Equal(got, []byte("2")) {
+		t.Fatalf("surviving key = %q", got)
+	}
+	if err := tr.Delete([]byte("b")); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if mustHash(t, tr) != empty {
+		t.Fatal("deleting all keys must restore the empty root")
+	}
+}
+
+func TestDeleteAbsentIsNoop(t *testing.T) {
+	tr := New()
+	mustPut(t, tr, "a", "1")
+	h := mustHash(t, tr)
+	if err := tr.Delete([]byte("zzz")); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if mustHash(t, tr) != h {
+		t.Fatal("deleting an absent key must not change the root")
+	}
+}
+
+func TestDeleteRestoresCanonicalForm(t *testing.T) {
+	// Insert-then-delete must produce the same root as never inserting,
+	// exercising branch collapse and extension merging.
+	keys := []string{"abcde", "abcdf", "abcxy", "ab", "q"}
+	base := New()
+	for _, k := range keys {
+		mustPut(t, base, k, "v-"+k)
+	}
+	want := mustHash(t, base)
+
+	tr := New()
+	for _, k := range keys {
+		mustPut(t, tr, k, "v-"+k)
+	}
+	extra := []string{"abcdg", "abcxz", "abd", "", "qq"}
+	for _, k := range extra {
+		mustPut(t, tr, k, "extra")
+	}
+	for _, k := range extra {
+		if err := tr.Delete([]byte(k)); err != nil {
+			t.Fatalf("Delete(%q): %v", k, err)
+		}
+	}
+	if mustHash(t, tr) != want {
+		t.Fatal("insert+delete must restore the original canonical root")
+	}
+}
+
+func TestTrieAgainstMapQuick(t *testing.T) {
+	// Property: a trie behaves exactly like a map under random workloads,
+	// and equal maps yield equal roots.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		model := map[string]string{}
+		for op := 0; op < 200; op++ {
+			k := fmt.Sprintf("k%d", rng.Intn(40))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", rng.Int())
+				if err := tr.Put([]byte(k), []byte(v)); err != nil {
+					return false
+				}
+				model[k] = v
+			case 2:
+				if err := tr.Delete([]byte(k)); err != nil {
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		for k, v := range model {
+			got, err := tr.Get([]byte(k))
+			if err != nil || !bytes.Equal(got, []byte(v)) {
+				return false
+			}
+		}
+		// Rebuild from the model and compare roots.
+		rebuilt := New()
+		for k, v := range model {
+			if err := rebuilt.Put([]byte(k), []byte(v)); err != nil {
+				return false
+			}
+		}
+		ha, err := tr.Hash()
+		if err != nil {
+			return false
+		}
+		hb, err := rebuilt.Hash()
+		if err != nil {
+			return false
+		}
+		return ha == hb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashStableAcrossGets(t *testing.T) {
+	tr := New()
+	mustPut(t, tr, "a", "1")
+	mustPut(t, tr, "ab", "2")
+	h := mustHash(t, tr)
+	mustGet(t, tr, "a")
+	mustGet(t, tr, "zz")
+	if mustHash(t, tr) != h {
+		t.Fatal("Get must not change the root")
+	}
+}
+
+func TestLargeTrie(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		mustPut(t, tr, fmt.Sprintf("account-%06d", i), fmt.Sprintf("balance-%d", i*7))
+	}
+	mustHash(t, tr)
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		want := fmt.Sprintf("balance-%d", i*7)
+		if got := mustGet(t, tr, fmt.Sprintf("account-%06d", i)); !bytes.Equal(got, []byte(want)) {
+			t.Fatalf("account %d = %q, want %q", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package mpt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dcert/internal/chash"
+)
+
+// buildTestTrie returns a populated trie and its key/value map.
+func buildTestTrie(t *testing.T, n int) (*Trie, map[string]string) {
+	t.Helper()
+	tr := New()
+	kv := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("acct-%04d", i)
+		v := fmt.Sprintf("state-%d", i*3)
+		kv[k] = v
+		mustPut(t, tr, k, v)
+	}
+	return tr, kv
+}
+
+func TestProofMembership(t *testing.T) {
+	tr, kv := buildTestTrie(t, 200)
+	root := mustHash(t, tr)
+
+	for _, k := range []string{"acct-0000", "acct-0077", "acct-0199"} {
+		proof, err := tr.Prove([]byte(k))
+		if err != nil {
+			t.Fatalf("Prove(%q): %v", k, err)
+		}
+		got, err := VerifyProof(root, []byte(k), proof)
+		if err != nil {
+			t.Fatalf("VerifyProof(%q): %v", k, err)
+		}
+		if !bytes.Equal(got, []byte(kv[k])) {
+			t.Fatalf("VerifyProof(%q) = %q, want %q", k, got, kv[k])
+		}
+	}
+}
+
+func TestProofAbsence(t *testing.T) {
+	tr, _ := buildTestTrie(t, 50)
+	root := mustHash(t, tr)
+
+	absent := "acct-9999"
+	proof, err := tr.Prove([]byte(absent))
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	got, err := VerifyProof(root, []byte(absent), proof)
+	if err != nil {
+		t.Fatalf("VerifyProof: %v", err)
+	}
+	if got != nil {
+		t.Fatalf("absence proof returned %q", got)
+	}
+}
+
+func TestProofRejectsWrongRoot(t *testing.T) {
+	tr, _ := buildTestTrie(t, 50)
+	mustHash(t, tr)
+	proof, err := tr.Prove([]byte("acct-0001"))
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	bogus := chash.Leaf([]byte("bogus root"))
+	if _, err := VerifyProof(bogus, []byte("acct-0001"), proof); err == nil {
+		t.Fatal("want error for wrong root")
+	}
+}
+
+func TestProofCannotClaimDifferentValue(t *testing.T) {
+	// A valid proof binds the key to exactly one value: the verifier reads
+	// the value out of the witness, so there is nothing to tamper without
+	// breaking content addressing.
+	tr, kv := buildTestTrie(t, 50)
+	root := mustHash(t, tr)
+	proof, err := tr.Prove([]byte("acct-0001"))
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	got, err := VerifyProof(root, []byte("acct-0001"), proof)
+	if err != nil {
+		t.Fatalf("VerifyProof: %v", err)
+	}
+	if !bytes.Equal(got, []byte(kv["acct-0001"])) {
+		t.Fatal("proof must return the committed value")
+	}
+}
+
+func TestProofMissingNodeDetected(t *testing.T) {
+	tr, _ := buildTestTrie(t, 200)
+	root := mustHash(t, tr)
+	// A proof for one key does not authenticate an unrelated key.
+	proof, err := tr.Prove([]byte("acct-0002"))
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if _, err := VerifyProof(root, []byte("acct-0150"), proof); !errors.Is(err, ErrMissingNode) {
+		t.Fatalf("want ErrMissingNode, got %v", err)
+	}
+}
+
+func TestPartialTrieStatelessUpdate(t *testing.T) {
+	// The core enclave flow: extract a witness for read+write keys, rebuild
+	// a partial trie, apply the writes, and check the new root matches the
+	// real trie's.
+	tr, _ := buildTestTrie(t, 300)
+	root := mustHash(t, tr)
+
+	readKeys := [][]byte{[]byte("acct-0010"), []byte("acct-0200")}
+	writeKeys := [][]byte{[]byte("acct-0010"), []byte("acct-0299"), []byte("acct-9000")} // update, update, insert
+	all := append(append([][]byte{}, readKeys...), writeKeys...)
+
+	witness, err := tr.WitnessForKeys(all)
+	if err != nil {
+		t.Fatalf("WitnessForKeys: %v", err)
+	}
+
+	pt := NewPartial(root, witness)
+	// Reads replay.
+	v, err := pt.Get([]byte("acct-0010"))
+	if err != nil || v == nil {
+		t.Fatalf("partial Get: %v %q", err, v)
+	}
+	// Writes replay.
+	for _, wk := range writeKeys {
+		if err := pt.Put(wk, []byte("new-"+string(wk))); err != nil {
+			t.Fatalf("partial Put(%q): %v", wk, err)
+		}
+	}
+	gotRoot, err := pt.Hash()
+	if err != nil {
+		t.Fatalf("partial Hash: %v", err)
+	}
+
+	for _, wk := range writeKeys {
+		mustPut(t, tr, string(wk), "new-"+string(wk))
+	}
+	if gotRoot != mustHash(t, tr) {
+		t.Fatal("stateless update root disagrees with the real trie")
+	}
+}
+
+func TestPartialTrieRejectsUnwitnessedAccess(t *testing.T) {
+	tr, _ := buildTestTrie(t, 300)
+	root := mustHash(t, tr)
+	witness, err := tr.WitnessForKeys([][]byte{[]byte("acct-0001")})
+	if err != nil {
+		t.Fatalf("WitnessForKeys: %v", err)
+	}
+	pt := NewPartial(root, witness)
+	if _, err := pt.Get([]byte("acct-0222")); !errors.Is(err, ErrMissingNode) {
+		t.Fatalf("want ErrMissingNode, got %v", err)
+	}
+	if err := pt.Put([]byte("acct-0222"), []byte("x")); !errors.Is(err, ErrMissingNode) {
+		t.Fatalf("want ErrMissingNode on Put, got %v", err)
+	}
+}
+
+func TestTamperedWitnessNodeFailsResolution(t *testing.T) {
+	tr, _ := buildTestTrie(t, 20)
+	root := mustHash(t, tr)
+	witness, err := tr.Prove([]byte("acct-0001"))
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	// Flip a byte in one stored node: resolution must fail (bytes no longer
+	// hash to the reference).
+	for h, raw := range witness.nodes {
+		raw[len(raw)-1] ^= 0xff
+		witness.nodes[h] = raw
+		break
+	}
+	if _, err := VerifyProof(root, []byte("acct-0001"), witness); err == nil {
+		t.Fatal("tampered witness must not verify")
+	}
+}
+
+func TestWitnessMarshalRoundTrip(t *testing.T) {
+	tr, kv := buildTestTrie(t, 100)
+	root := mustHash(t, tr)
+	witness, err := tr.WitnessForKeys([][]byte{[]byte("acct-0042"), []byte("acct-0087")})
+	if err != nil {
+		t.Fatalf("WitnessForKeys: %v", err)
+	}
+
+	parsed, err := UnmarshalWitness(witness.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalWitness: %v", err)
+	}
+	if parsed.Len() != witness.Len() {
+		t.Fatalf("Len = %d, want %d", parsed.Len(), witness.Len())
+	}
+	got, err := VerifyProof(root, []byte("acct-0042"), parsed)
+	if err != nil {
+		t.Fatalf("VerifyProof after round trip: %v", err)
+	}
+	if !bytes.Equal(got, []byte(kv["acct-0042"])) {
+		t.Fatal("round-tripped witness returned wrong value")
+	}
+}
+
+func TestWitnessMarshalDeterministic(t *testing.T) {
+	tr, _ := buildTestTrie(t, 50)
+	mustHash(t, tr)
+	w, err := tr.WitnessForKeys([][]byte{[]byte("acct-0001"), []byte("acct-0030")})
+	if err != nil {
+		t.Fatalf("WitnessForKeys: %v", err)
+	}
+	if !bytes.Equal(w.Marshal(), w.Marshal()) {
+		t.Fatal("Marshal must be deterministic")
+	}
+}
+
+func TestUnmarshalWitnessRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalWitness([]byte{0xff}); err == nil {
+		t.Fatal("want error for garbage witness")
+	}
+}
+
+func TestWitnessMerge(t *testing.T) {
+	tr, _ := buildTestTrie(t, 100)
+	root := mustHash(t, tr)
+	w1, err := tr.Prove([]byte("acct-0001"))
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	w2, err := tr.Prove([]byte("acct-0090"))
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	w1.Merge(w2)
+	if _, err := VerifyProof(root, []byte("acct-0090"), w1); err != nil {
+		t.Fatalf("merged witness should cover both keys: %v", err)
+	}
+}
+
+func TestWitnessEncodedSize(t *testing.T) {
+	tr, _ := buildTestTrie(t, 100)
+	mustHash(t, tr)
+	w, err := tr.Prove([]byte("acct-0001"))
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if w.EncodedSize() != len(w.Marshal()) {
+		t.Fatalf("EncodedSize = %d, Marshal len = %d", w.EncodedSize(), len(w.Marshal()))
+	}
+}
+
+func TestStatelessUpdateQuick(t *testing.T) {
+	// Property: for random tries and random non-deleting write batches, the
+	// stateless update always reproduces the real trie's new root.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		n := 10 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			if err := tr.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+				return false
+			}
+		}
+		root, err := tr.Hash()
+		if err != nil {
+			return false
+		}
+		nw := 1 + rng.Intn(10)
+		writes := make(map[string]string, nw)
+		keys := make([][]byte, 0, nw)
+		for i := 0; i < nw; i++ {
+			k := fmt.Sprintf("k%d", rng.Intn(n*2)) // mix of updates and inserts
+			writes[k] = fmt.Sprintf("nv%d", rng.Int())
+			keys = append(keys, []byte(k))
+		}
+		w, err := tr.WitnessForKeys(keys)
+		if err != nil {
+			return false
+		}
+		pt := NewPartial(root, w)
+		for k, v := range writes {
+			if err := pt.Put([]byte(k), []byte(v)); err != nil {
+				return false
+			}
+		}
+		ptRoot, err := pt.Hash()
+		if err != nil {
+			return false
+		}
+		for k, v := range writes {
+			if err := tr.Put([]byte(k), []byte(v)); err != nil {
+				return false
+			}
+		}
+		realRoot, err := tr.Hash()
+		if err != nil {
+			return false
+		}
+		return ptRoot == realRoot
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

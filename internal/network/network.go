@@ -1,0 +1,161 @@
+// Package network provides the simulated peer-to-peer message fabric that
+// connects the DCert node roles (miner, certificate issuer, service
+// provider, clients) in examples and integration tests. It is a topic-based
+// publish/subscribe bus with optional simulated propagation latency —
+// enough to exercise the certification workflow of Fig. 2 end to end
+// without real sockets.
+package network
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Package errors.
+var (
+	// ErrClosed is returned when publishing on a closed network.
+	ErrClosed = errors.New("network: closed")
+)
+
+// Well-known topics of the DCert certification workflow (Fig. 2).
+const (
+	// TopicBlocks carries newly proposed blocks (miner → everyone).
+	TopicBlocks = "blocks"
+	// TopicCerts carries block certificates (CI → clients).
+	TopicCerts = "certs"
+	// TopicIndexCerts carries index certificates (CI → clients).
+	TopicIndexCerts = "index-certs"
+)
+
+// Message is one published datum.
+type Message struct {
+	// Topic is the channel the message was published on.
+	Topic string
+	// From identifies the publisher.
+	From string
+	// Payload is the message body (shared, treat as immutable).
+	Payload any
+}
+
+// Network is an in-memory pub/sub fabric.
+//
+// Network is safe for concurrent use.
+type Network struct {
+	mu      sync.Mutex
+	subs    map[string][]*Subscription
+	latency time.Duration
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency adds a fixed simulated propagation delay to every delivery.
+func WithLatency(d time.Duration) Option {
+	return func(n *Network) {
+		n.latency = d
+	}
+}
+
+// New creates a network fabric.
+func New(opts ...Option) *Network {
+	n := &Network{subs: make(map[string][]*Subscription)}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+// Subscription is one subscriber's inbound queue.
+type Subscription struct {
+	// C delivers messages in publish order (per publisher).
+	C <-chan Message
+
+	net    *Network
+	topic  string
+	ch     chan Message
+	cancel sync.Once
+}
+
+// Cancel removes the subscription and closes C.
+func (s *Subscription) Cancel() {
+	s.cancel.Do(func() {
+		s.net.remove(s)
+		close(s.ch)
+	})
+}
+
+// Subscribe registers for a topic with the given queue depth. Messages that
+// would overflow a subscriber's queue are dropped for that subscriber (as a
+// slow real peer would miss gossip).
+func (n *Network) Subscribe(topic string, depth int) *Subscription {
+	if depth < 1 {
+		depth = 1
+	}
+	ch := make(chan Message, depth)
+	s := &Subscription{C: ch, net: n, topic: topic, ch: ch}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.subs[topic] = append(n.subs[topic], s)
+	return s
+}
+
+func (n *Network) remove(s *Subscription) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	list := n.subs[s.topic]
+	for i, cur := range list {
+		if cur == s {
+			n.subs[s.topic] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// Publish broadcasts a payload to all current subscribers of the topic.
+func (n *Network) Publish(topic, from string, payload any) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	targets := make([]*Subscription, len(n.subs[topic]))
+	copy(targets, n.subs[topic])
+	n.mu.Unlock()
+
+	msg := Message{Topic: topic, From: from, Payload: payload}
+	deliver := func() {
+		for _, s := range targets {
+			select {
+			case s.ch <- msg:
+			default: // slow subscriber: drop, as real gossip would
+			}
+		}
+	}
+	if n.latency == 0 {
+		deliver()
+		return nil
+	}
+	n.wg.Add(1)
+	timer := time.AfterFunc(n.latency, func() {
+		defer n.wg.Done()
+		deliver()
+	})
+	_ = timer
+	return nil
+}
+
+// Close stops the network: in-flight delayed deliveries flush, and further
+// publishes fail.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+	n.wg.Wait()
+}

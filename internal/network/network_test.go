@@ -1,0 +1,133 @@
+package network
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func recvOne(t *testing.T, s *Subscription, timeout time.Duration) Message {
+	t.Helper()
+	select {
+	case m, ok := <-s.C:
+		if !ok {
+			t.Fatal("subscription closed")
+		}
+		return m
+	case <-time.After(timeout):
+		t.Fatal("timed out waiting for message")
+		return Message{}
+	}
+}
+
+func TestPublishSubscribe(t *testing.T) {
+	n := New()
+	defer n.Close()
+	sub := n.Subscribe(TopicBlocks, 4)
+	defer sub.Cancel()
+
+	if err := n.Publish(TopicBlocks, "miner", 42); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	m := recvOne(t, sub, time.Second)
+	if m.From != "miner" || m.Payload.(int) != 42 || m.Topic != TopicBlocks {
+		t.Fatalf("message = %+v", m)
+	}
+}
+
+func TestTopicsIsolated(t *testing.T) {
+	n := New()
+	defer n.Close()
+	blocks := n.Subscribe(TopicBlocks, 4)
+	certs := n.Subscribe(TopicCerts, 4)
+	defer blocks.Cancel()
+	defer certs.Cancel()
+
+	if err := n.Publish(TopicCerts, "ci", "cert"); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	recvOne(t, certs, time.Second)
+	select {
+	case m := <-blocks.C:
+		t.Fatalf("blocks subscriber got cert message %+v", m)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestMultipleSubscribersAllReceive(t *testing.T) {
+	n := New()
+	defer n.Close()
+	var subs []*Subscription
+	for i := 0; i < 5; i++ {
+		subs = append(subs, n.Subscribe(TopicBlocks, 2))
+	}
+	if err := n.Publish(TopicBlocks, "miner", "blk"); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	for i, s := range subs {
+		m := recvOne(t, s, time.Second)
+		if m.Payload.(string) != "blk" {
+			t.Fatalf("subscriber %d payload %v", i, m.Payload)
+		}
+	}
+}
+
+func TestSlowSubscriberDrops(t *testing.T) {
+	n := New()
+	defer n.Close()
+	sub := n.Subscribe(TopicBlocks, 1)
+	defer sub.Cancel()
+	for i := 0; i < 5; i++ {
+		if err := n.Publish(TopicBlocks, "miner", i); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	m := recvOne(t, sub, time.Second)
+	if m.Payload.(int) != 0 {
+		t.Fatalf("first message = %v", m.Payload)
+	}
+	select {
+	case m := <-sub.C:
+		t.Fatalf("overflowed message delivered: %v", m.Payload)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestCancelStopsDelivery(t *testing.T) {
+	n := New()
+	defer n.Close()
+	sub := n.Subscribe(TopicBlocks, 4)
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	if err := n.Publish(TopicBlocks, "miner", 1); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if _, ok := <-sub.C; ok {
+		t.Fatal("cancelled subscription received a message")
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	n := New(WithLatency(50 * time.Millisecond))
+	sub := n.Subscribe(TopicBlocks, 4)
+	defer sub.Cancel()
+
+	start := time.Now()
+	if err := n.Publish(TopicBlocks, "miner", "slow"); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	recvOne(t, sub, time.Second)
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("delivered too fast: %v", elapsed)
+	}
+	n.Close()
+}
+
+func TestPublishAfterClose(t *testing.T) {
+	n := New()
+	n.Close()
+	n.Close() // idempotent
+	if err := n.Publish(TopicBlocks, "miner", 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}

@@ -1,0 +1,127 @@
+package query
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dcert/internal/chash"
+)
+
+// Aggregation support (§5.1 notes DCert supports any query type with an
+// authenticated processing algorithm, citing authenticated aggregation
+// work). Our aggregation scheme composes directly with the two-level index:
+// the SP returns the aggregate together with the completeness-proven range,
+// and the verifier recomputes the aggregate from the verified entries —
+// sound because the range proof already guarantees that no entry in the
+// window is hidden or fabricated.
+
+// AggregateOp selects the aggregation function.
+type AggregateOp int
+
+// Aggregation operators over uint64-encoded values.
+const (
+	// AggCount counts versions in the window.
+	AggCount AggregateOp = iota + 1
+	// AggSum sums the values.
+	AggSum
+	// AggMin takes the minimum value.
+	AggMin
+	// AggMax takes the maximum value.
+	AggMax
+)
+
+// String implements fmt.Stringer.
+func (op AggregateOp) String() string {
+	switch op {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggregateOp(%d)", int(op))
+	}
+}
+
+// AggregateResult is the SP's answer to an aggregation query: the claimed
+// aggregate plus the underlying authenticated range.
+type AggregateResult struct {
+	// Op is the aggregation operator.
+	Op AggregateOp
+	// Key, Lo, Hi define the aggregated window.
+	Key    string
+	Lo, Hi uint64
+	// Value is the claimed aggregate.
+	Value uint64
+	// Historical carries the entries and proof backing the aggregate.
+	Historical *HistoricalResult
+}
+
+// computeAggregate folds the operator over verified entries. Non-integer
+// values (wrong width) make the query malformed.
+func computeAggregate(op AggregateOp, res *HistoricalResult) (uint64, error) {
+	switch op {
+	case AggCount:
+		return uint64(len(res.Entries)), nil
+	case AggSum, AggMin, AggMax:
+		var acc uint64
+		for i, e := range res.Entries {
+			if len(e.Value) != 8 {
+				return 0, fmt.Errorf("%w: entry %d is not a uint64 value", ErrBadProof, i)
+			}
+			v := binary.BigEndian.Uint64(e.Value)
+			switch {
+			case op == AggSum:
+				acc += v
+			case i == 0:
+				acc = v
+			case op == AggMin && v < acc:
+				acc = v
+			case op == AggMax && v > acc:
+				acc = v
+			}
+		}
+		return acc, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown operator %d", ErrBadProof, int(op))
+	}
+}
+
+// AggregateQuery answers "op(values of key in [lo, hi])" on the named index.
+func (sp *ServiceProvider) AggregateQuery(index string, op AggregateOp, key string, lo, hi uint64) (*AggregateResult, error) {
+	hres, err := sp.HistoricalQuery(index, key, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	value, err := computeAggregate(op, hres)
+	if err != nil {
+		return nil, err
+	}
+	return &AggregateResult{Op: op, Key: key, Lo: lo, Hi: hi, Value: value, Historical: hres}, nil
+}
+
+// VerifyAggregate validates an aggregation result: the backing range is
+// verified complete against the certified index root, the window fields must
+// match, and the aggregate is recomputed and compared with the claim.
+func VerifyAggregate(indexRoot chash.Hash, res *AggregateResult) error {
+	if res == nil || res.Historical == nil {
+		return fmt.Errorf("%w: missing backing range", ErrBadProof)
+	}
+	if res.Historical.Key != res.Key || res.Historical.Lo != res.Lo || res.Historical.Hi != res.Hi {
+		return fmt.Errorf("%w: window mismatch between aggregate and backing range", ErrBadProof)
+	}
+	if err := VerifyHistorical(indexRoot, res.Historical); err != nil {
+		return err
+	}
+	want, err := computeAggregate(res.Op, res.Historical)
+	if err != nil {
+		return err
+	}
+	if want != res.Value {
+		return fmt.Errorf("%w: %s claimed %d, proven %d", ErrResultMismatch, res.Op, res.Value, want)
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package query
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"dcert/internal/chain"
+	"dcert/internal/chash"
+	"dcert/internal/mpt"
+	"dcert/internal/skiplist"
+)
+
+// SkipListIndex is the LineageChain-style baseline of Fig. 11: the same
+// two-level layout, but the lower level is an authenticated deterministic
+// skip list instead of a Merkle B⁺-tree. It is used to compare query latency
+// and proof size against DCert's MPT + MB-tree design.
+//
+// SkipListIndex is not safe for concurrent use.
+type SkipListIndex struct {
+	name   string
+	prefix string
+	upper  *mpt.Trie
+	lowers map[string]*skiplist.List
+}
+
+// NewSkipListIndex creates an empty baseline index over state keys matching
+// prefix.
+func NewSkipListIndex(name, prefix string) *SkipListIndex {
+	return &SkipListIndex{
+		name:   name,
+		prefix: prefix,
+		upper:  mpt.New(),
+		lowers: make(map[string]*skiplist.List),
+	}
+}
+
+// Name returns the index name.
+func (ix *SkipListIndex) Name() string {
+	return ix.name
+}
+
+// Root returns the index commitment.
+func (ix *SkipListIndex) Root() (chash.Hash, error) {
+	return ix.upper.Hash()
+}
+
+// Apply updates the index with a block's state writes.
+func (ix *SkipListIndex) Apply(blk *chain.Block, writes map[string][]byte) error {
+	for k, v := range writes {
+		if !strings.HasPrefix(k, ix.prefix) {
+			continue
+		}
+		lower, ok := ix.lowers[k]
+		if !ok {
+			lower = skiplist.New()
+			ix.lowers[k] = lower
+		}
+		lower.Insert(blk.Header.Height, v)
+		if err := ix.upper.Put([]byte(k), lower.Root().Bytes()); err != nil {
+			return fmt.Errorf("query: baseline apply %q: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// SkipRangeProof is the baseline's query proof.
+type SkipRangeProof struct {
+	// Upper authenticates key → lower root.
+	Upper *mpt.Witness
+	// Lower is the skip-list traversal proof (nil when the key is absent).
+	Lower *skiplist.Proof
+}
+
+// EncodedSize returns the proof size in bytes.
+func (p *SkipRangeProof) EncodedSize() int {
+	size := p.Upper.EncodedSize()
+	if p.Lower != nil {
+		size += p.Lower.EncodedSize()
+	}
+	return size
+}
+
+// QueryRange answers a historical range query with proofs.
+func (ix *SkipListIndex) QueryRange(key string, lo, hi uint64) ([]skiplist.Entry, *SkipRangeProof, error) {
+	upperW, err := ix.upper.Prove([]byte(key))
+	if err != nil {
+		return nil, nil, fmt.Errorf("query: baseline upper proof: %w", err)
+	}
+	lower, ok := ix.lowers[key]
+	if !ok {
+		return nil, &SkipRangeProof{Upper: upperW}, nil
+	}
+	entries, err := lower.Range(lo, hi)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, err := lower.ProveRange(lo, hi)
+	if err != nil {
+		return nil, nil, err
+	}
+	return entries, &SkipRangeProof{Upper: upperW, Lower: proof}, nil
+}
+
+// VerifySkipRange validates a baseline query result against the index root.
+func VerifySkipRange(indexRoot chash.Hash, key string, lo, hi uint64, claimed []skiplist.Entry, proof *SkipRangeProof) error {
+	if proof == nil || proof.Upper == nil {
+		return fmt.Errorf("%w: missing proof", ErrBadProof)
+	}
+	rootBytes, err := mpt.VerifyProof(indexRoot, []byte(key), proof.Upper)
+	if err != nil {
+		return fmt.Errorf("%w: upper: %v", ErrBadProof, err)
+	}
+	if rootBytes == nil {
+		if len(claimed) != 0 {
+			return fmt.Errorf("%w: results claimed for absent key", ErrResultMismatch)
+		}
+		return nil
+	}
+	lowerRoot, err := chash.FromBytes(rootBytes)
+	if err != nil {
+		return fmt.Errorf("%w: lower root: %v", ErrBadProof, err)
+	}
+	if proof.Lower == nil {
+		return fmt.Errorf("%w: missing lower proof", ErrBadProof)
+	}
+	verified, err := skiplist.VerifyRange(lowerRoot, lo, hi, proof.Lower)
+	if err != nil {
+		return fmt.Errorf("%w: lower: %v", ErrBadProof, err)
+	}
+	if len(verified) != len(claimed) {
+		return fmt.Errorf("%w: %d claimed, %d proven", ErrResultMismatch, len(claimed), len(verified))
+	}
+	for i := range verified {
+		if verified[i].Version != claimed[i].Version || !bytes.Equal(verified[i].Value, claimed[i].Value) {
+			return fmt.Errorf("%w: entry %d", ErrResultMismatch, i)
+		}
+	}
+	return nil
+}

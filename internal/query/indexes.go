@@ -1,0 +1,117 @@
+package query
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"dcert/internal/chain"
+)
+
+// NewHistoricalIndex builds the historical-account index of Fig. 5: for
+// every state key matched by prefix (empty = all keys), each block that
+// writes the key appends an entry (version = block height, value = written
+// state value) to the key's lower tree. Superlight clients can then ask
+// "what were the values of key K in time window [t1, t2]" with integrity and
+// completeness guarantees.
+func NewHistoricalIndex(name, prefix string) (*TwoLevel, error) {
+	return NewTwoLevel(name, HistoricalExtractor(prefix))
+}
+
+// HistoricalExtractor derives historical-index insertions from a block's
+// verified state write set.
+func HistoricalExtractor(prefix string) Extractor {
+	return func(blk *chain.Block, writes map[string][]byte) []Insertion {
+		ins := make([]Insertion, 0, len(writes))
+		for k, v := range writes {
+			if !strings.HasPrefix(k, prefix) {
+				continue
+			}
+			ins = append(ins, Insertion{Key: k, Version: blk.Header.Height, Value: v})
+		}
+		sortInsertions(ins)
+		return ins
+	}
+}
+
+// txSlotBits positions a transaction index within a posting version so that
+// (height, txIndex) pairs order correctly and stay unique.
+const txSlotBits = 20
+
+// PostingVersion encodes a (height, txIndex) pair as a lower-tree version.
+func PostingVersion(height uint64, txIndex int) uint64 {
+	return height<<txSlotBits | uint64(txIndex)
+}
+
+// PostingHeight recovers the block height from a posting version.
+func PostingHeight(v uint64) uint64 {
+	return v >> txSlotBits
+}
+
+// NewKeywordIndex builds the inverted keyword index of §5.4: keywords are
+// extracted from every transaction (contract name, method, and printable
+// argument words); each keyword's lower tree accumulates postings
+// (version = height‖txIndex, value = transaction hash). Conjunctive queries
+// intersect per-keyword posting lists, each individually verified complete.
+func NewKeywordIndex(name string) (*TwoLevel, error) {
+	return NewTwoLevel(name, KeywordExtractor())
+}
+
+// KeywordExtractor derives keyword-index insertions from a block's
+// transactions.
+func KeywordExtractor() Extractor {
+	return func(blk *chain.Block, _ map[string][]byte) []Insertion {
+		var ins []Insertion
+		for i, tx := range blk.Txs {
+			txHash := tx.Hash()
+			version := PostingVersion(blk.Header.Height, i)
+			for _, kw := range Keywords(tx) {
+				ins = append(ins, Insertion{Key: kw, Version: version, Value: txHash.Bytes()})
+			}
+		}
+		sortInsertions(ins)
+		return ins
+	}
+}
+
+// Keywords extracts the deterministic keyword set of a transaction: its
+// contract name, its method, and every printable word (≥3 runes) appearing
+// in its arguments. The set is sorted and deduplicated.
+func Keywords(tx *chain.Transaction) []string {
+	set := map[string]struct{}{
+		tx.Contract: {},
+		tx.Method:   {},
+	}
+	for _, arg := range tx.Args {
+		for _, w := range tokenize(arg) {
+			set[w] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tokenize splits a byte slice into printable lowercase words.
+func tokenize(b []byte) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() >= 3 {
+			words = append(words, strings.ToLower(cur.String()))
+		}
+		cur.Reset()
+	}
+	for _, r := range string(b) {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(r)
+			continue
+		}
+		flush()
+	}
+	flush()
+	return words
+}

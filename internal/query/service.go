@@ -1,0 +1,354 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcert/internal/chash"
+	"dcert/internal/network"
+)
+
+// Network query service: the SP serves the §5.3 query protocol over the
+// simulated fabric using the canonical wire formats, so superlight clients
+// interact with it exactly as they would over a real transport — send a
+// request, receive serialized results, verify them locally against certified
+// roots.
+
+// Service errors.
+var (
+	// ErrTimeout is returned when a networked query receives no response.
+	ErrTimeout = errors.New("query: request timed out")
+	// ErrRemote is returned when the SP reports a failure.
+	ErrRemote = errors.New("query: remote error")
+)
+
+// Network topics for the query protocol.
+const (
+	// TopicQueries carries requests to the SP.
+	TopicQueries = "queries"
+	// TopicResults carries responses back to clients.
+	TopicResults = "query-results"
+)
+
+// Request kinds.
+const (
+	reqHistorical byte = 1
+	reqKeyword    byte = 2
+	reqState      byte = 3
+)
+
+// Request is a serializable query request.
+type Request struct {
+	// ID correlates the response.
+	ID uint64
+	// Kind selects the query type.
+	Kind byte
+	// Index names the authenticated index (historical/keyword queries).
+	Index string
+	// Key is the state or account key.
+	Key string
+	// Lo and Hi bound historical windows.
+	Lo, Hi uint64
+	// Keywords are the conjuncts of a keyword query.
+	Keywords []string
+}
+
+// Marshal serializes the request.
+func (r *Request) Marshal() []byte {
+	e := chash.NewEncoder(128)
+	e.PutUint64(r.ID)
+	e.PutByte(r.Kind)
+	e.PutString(r.Index)
+	e.PutString(r.Key)
+	e.PutUint64(r.Lo)
+	e.PutUint64(r.Hi)
+	e.PutUint32(uint32(len(r.Keywords)))
+	for _, kw := range r.Keywords {
+		e.PutString(kw)
+	}
+	return e.Bytes()
+}
+
+// UnmarshalRequest parses a request.
+func UnmarshalRequest(raw []byte) (*Request, error) {
+	d := chash.NewDecoder(raw)
+	var r Request
+	var err error
+	if r.ID, err = d.Uint64(); err != nil {
+		return nil, fmt.Errorf("query: unmarshal request: %w", err)
+	}
+	if r.Kind, err = d.Byte(); err != nil {
+		return nil, fmt.Errorf("query: unmarshal request: %w", err)
+	}
+	if r.Index, err = d.ReadString(); err != nil {
+		return nil, fmt.Errorf("query: unmarshal request: %w", err)
+	}
+	if r.Key, err = d.ReadString(); err != nil {
+		return nil, fmt.Errorf("query: unmarshal request: %w", err)
+	}
+	if r.Lo, err = d.Uint64(); err != nil {
+		return nil, fmt.Errorf("query: unmarshal request: %w", err)
+	}
+	if r.Hi, err = d.Uint64(); err != nil {
+		return nil, fmt.Errorf("query: unmarshal request: %w", err)
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, fmt.Errorf("query: unmarshal request: %w", err)
+	}
+	if n > 64 {
+		return nil, fmt.Errorf("query: unmarshal request: %d keywords", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		kw, err := d.ReadString()
+		if err != nil {
+			return nil, fmt.Errorf("query: unmarshal request: %w", err)
+		}
+		r.Keywords = append(r.Keywords, kw)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("query: unmarshal request: %w", err)
+	}
+	return &r, nil
+}
+
+// Response is a serializable query response.
+type Response struct {
+	// ID echoes the request.
+	ID uint64
+	// Err carries a remote failure description ("" on success).
+	Err string
+	// Body is the serialized result (kind-specific wire format).
+	Body []byte
+}
+
+// Marshal serializes the response.
+func (r *Response) Marshal() []byte {
+	e := chash.NewEncoder(64 + len(r.Body))
+	e.PutUint64(r.ID)
+	e.PutString(r.Err)
+	e.PutBytes(r.Body)
+	return e.Bytes()
+}
+
+// UnmarshalResponse parses a response.
+func UnmarshalResponse(raw []byte) (*Response, error) {
+	d := chash.NewDecoder(raw)
+	var r Response
+	var err error
+	if r.ID, err = d.Uint64(); err != nil {
+		return nil, fmt.Errorf("query: unmarshal response: %w", err)
+	}
+	if r.Err, err = d.ReadString(); err != nil {
+		return nil, fmt.Errorf("query: unmarshal response: %w", err)
+	}
+	if r.Body, err = d.ReadBytes(); err != nil {
+		return nil, fmt.Errorf("query: unmarshal response: %w", err)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("query: unmarshal response: %w", err)
+	}
+	return &r, nil
+}
+
+// Server runs a ServiceProvider behind the network's query topic.
+type Server struct {
+	sp   *ServiceProvider
+	net  *network.Network
+	sub  *network.Subscription
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Serve starts answering requests until Stop is called.
+func Serve(sp *ServiceProvider, net *network.Network) *Server {
+	s := &Server{
+		sp:   sp,
+		net:  net,
+		sub:  net.Subscribe(TopicQueries, 64),
+		done: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+// Stop shuts the server down and waits for the serving goroutine.
+func (s *Server) Stop() {
+	s.sub.Cancel()
+	close(s.done)
+	s.wg.Wait()
+}
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case m, ok := <-s.sub.C:
+			if !ok {
+				return
+			}
+			raw, isBytes := m.Payload.([]byte)
+			if !isBytes {
+				continue
+			}
+			req, err := UnmarshalRequest(raw)
+			if err != nil {
+				continue // malformed request: nothing to respond to
+			}
+			resp := s.handle(req)
+			// Publish errors only mean the fabric shut down.
+			if err := s.net.Publish(TopicResults, "sp", resp.Marshal()); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// handle executes one request against the local SP.
+func (s *Server) handle(req *Request) *Response {
+	resp := &Response{ID: req.ID}
+	switch req.Kind {
+	case reqHistorical:
+		res, err := s.sp.HistoricalQuery(req.Index, req.Key, req.Lo, req.Hi)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Body = res.Marshal()
+	case reqKeyword:
+		res, err := s.sp.KeywordQuery(req.Index, req.Keywords)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Body = res.Marshal()
+	case reqState:
+		res, err := s.sp.StateQuery(req.Key)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Body = res.Marshal()
+	default:
+		resp.Err = fmt.Sprintf("unknown request kind %d", req.Kind)
+	}
+	return resp
+}
+
+// Requester issues queries over the network and awaits responses.
+//
+// Requester is safe for concurrent use.
+type Requester struct {
+	net     *network.Network
+	sub     *network.Subscription
+	nextID  atomic.Uint64
+	timeout time.Duration
+
+	mu      sync.Mutex
+	pending map[uint64]chan *Response
+	closed  bool
+}
+
+// NewRequester creates a query client over the fabric.
+func NewRequester(net *network.Network, timeout time.Duration) *Requester {
+	r := &Requester{
+		net:     net,
+		sub:     net.Subscribe(TopicResults, 64),
+		timeout: timeout,
+		pending: make(map[uint64]chan *Response),
+	}
+	go r.dispatch()
+	return r
+}
+
+// Close stops the requester.
+func (r *Requester) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.sub.Cancel()
+}
+
+func (r *Requester) dispatch() {
+	for m := range r.sub.C {
+		raw, ok := m.Payload.([]byte)
+		if !ok {
+			continue
+		}
+		resp, err := UnmarshalResponse(raw)
+		if err != nil {
+			continue
+		}
+		r.mu.Lock()
+		ch, ok := r.pending[resp.ID]
+		if ok {
+			delete(r.pending, resp.ID)
+		}
+		r.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// roundTrip sends a request and waits for its response.
+func (r *Requester) roundTrip(req *Request) (*Response, error) {
+	req.ID = r.nextID.Add(1)
+	ch := make(chan *Response, 1)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("query: requester closed")
+	}
+	r.pending[req.ID] = ch
+	r.mu.Unlock()
+
+	if err := r.net.Publish(TopicQueries, "client", req.Marshal()); err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		if resp.Err != "" {
+			return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Err)
+		}
+		return resp, nil
+	case <-time.After(r.timeout):
+		r.mu.Lock()
+		delete(r.pending, req.ID)
+		r.mu.Unlock()
+		return nil, ErrTimeout
+	}
+}
+
+// Historical runs a remote historical query.
+func (r *Requester) Historical(index, key string, lo, hi uint64) (*HistoricalResult, error) {
+	resp, err := r.roundTrip(&Request{Kind: reqHistorical, Index: index, Key: key, Lo: lo, Hi: hi})
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalHistoricalResult(resp.Body)
+}
+
+// Keyword runs a remote conjunctive keyword query.
+func (r *Requester) Keyword(index string, keywords []string) (*KeywordResult, error) {
+	resp, err := r.roundTrip(&Request{Kind: reqKeyword, Index: index, Keywords: keywords})
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalKeywordResult(resp.Body)
+}
+
+// State runs a remote direct state read.
+func (r *Requester) State(key string) (*StateResult, error) {
+	resp, err := r.roundTrip(&Request{Kind: reqState, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalStateResult(resp.Body)
+}

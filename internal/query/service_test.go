@@ -1,0 +1,159 @@
+package query
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dcert/internal/network"
+)
+
+// servedRig builds a rig with indexes and a running network query server.
+func servedRig(t *testing.T) (*rig, *network.Network, *Requester, func()) {
+	t.Helper()
+	r, _, _ := queryableRig(t)
+	net := network.New()
+	srv := Serve(r.sp, net)
+	req := NewRequester(net, 2*time.Second)
+	cleanup := func() {
+		req.Close()
+		srv.Stop()
+		net.Close()
+	}
+	return r, net, req, cleanup
+}
+
+func TestNetworkedHistoricalQuery(t *testing.T) {
+	r, _, req, cleanup := servedRig(t)
+	defer cleanup()
+
+	ix, err := r.sp.Index("hist")
+	if err != nil {
+		t.Fatalf("Index: %v", err)
+	}
+	root, err := ix.Root()
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	key := anyIndexedKey(t, ix)
+	res, err := req.Historical("hist", key, 0, 100)
+	if err != nil {
+		t.Fatalf("Historical: %v", err)
+	}
+	if err := VerifyHistorical(root, res); err != nil {
+		t.Fatalf("VerifyHistorical over the wire: %v", err)
+	}
+	if len(res.Entries) == 0 {
+		t.Fatal("expected remote results")
+	}
+}
+
+func TestNetworkedKeywordQuery(t *testing.T) {
+	r, _, req, cleanup := servedRig(t)
+	defer cleanup()
+
+	ix, err := r.sp.Index("kw")
+	if err != nil {
+		t.Fatalf("Index: %v", err)
+	}
+	root, err := ix.Root()
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	res, err := req.Keyword("kw", []string{"deposit_check"})
+	if err != nil {
+		t.Fatalf("Keyword: %v", err)
+	}
+	if err := VerifyKeyword(root, res); err != nil {
+		t.Fatalf("VerifyKeyword over the wire: %v", err)
+	}
+}
+
+func TestNetworkedStateQuery(t *testing.T) {
+	r, _, req, cleanup := servedRig(t)
+	defer cleanup()
+
+	tip := r.sp.Node().Tip()
+	res, err := req.State("never-written")
+	if err != nil {
+		t.Fatalf("State: %v", err)
+	}
+	if err := VerifyState(&tip.Header, res); err != nil {
+		t.Fatalf("VerifyState over the wire: %v", err)
+	}
+}
+
+func TestNetworkedQueryRemoteError(t *testing.T) {
+	_, _, req, cleanup := servedRig(t)
+	defer cleanup()
+
+	_, err := req.Historical("no-such-index", "k", 0, 1)
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("want ErrRemote, got %v", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "unknown index") {
+		t.Fatalf("remote error should carry the cause: %v", err)
+	}
+}
+
+func TestNetworkedQueryTimeout(t *testing.T) {
+	// No server running on this fabric.
+	net := network.New()
+	defer net.Close()
+	req := NewRequester(net, 50*time.Millisecond)
+	defer req.Close()
+	if _, err := req.Historical("hist", "k", 0, 1); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestNetworkedQueryConcurrentClients(t *testing.T) {
+	r, _, req, cleanup := servedRig(t)
+	defer cleanup()
+
+	ix, err := r.sp.Index("hist")
+	if err != nil {
+		t.Fatalf("Index: %v", err)
+	}
+	root, err := ix.Root()
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	key := anyIndexedKey(t, ix)
+
+	const parallel = 8
+	errs := make(chan error, parallel)
+	for i := 0; i < parallel; i++ {
+		go func() {
+			res, err := req.Historical("hist", key, 0, 100)
+			if err != nil {
+				errs <- err
+				return
+			}
+			errs <- VerifyHistorical(root, res)
+		}()
+	}
+	for i := 0; i < parallel; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("concurrent query %d: %v", i, err)
+		}
+	}
+}
+
+func TestRequestMarshalRoundTrip(t *testing.T) {
+	req := &Request{ID: 7, Kind: reqKeyword, Index: "kw", Keywords: []string{"a", "b"}}
+	parsed, err := UnmarshalRequest(req.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalRequest: %v", err)
+	}
+	if parsed.ID != 7 || parsed.Kind != reqKeyword || len(parsed.Keywords) != 2 {
+		t.Fatalf("round trip mismatch: %+v", parsed)
+	}
+	if _, err := UnmarshalRequest([]byte{1}); err == nil {
+		t.Fatal("want error for garbage request")
+	}
+	if _, err := UnmarshalResponse([]byte{1}); err == nil {
+		t.Fatal("want error for garbage response")
+	}
+}

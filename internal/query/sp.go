@@ -1,0 +1,234 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"dcert/internal/chain"
+	"dcert/internal/chash"
+	"dcert/internal/mbtree"
+	"dcert/internal/node"
+)
+
+// ServiceProvider is the SP of §3.2: a full node that additionally maintains
+// authenticated indexes over the chain and answers queries with integrity
+// proofs. The SP is untrusted — clients verify everything it returns against
+// index roots certified by the CI.
+//
+// ServiceProvider is not safe for concurrent use.
+type ServiceProvider struct {
+	node    *node.FullNode
+	indexes map[string]*TwoLevel
+}
+
+// NewServiceProvider wraps a full node.
+func NewServiceProvider(n *node.FullNode) *ServiceProvider {
+	return &ServiceProvider{node: n, indexes: make(map[string]*TwoLevel)}
+}
+
+// Node exposes the SP's full-node core.
+func (sp *ServiceProvider) Node() *node.FullNode {
+	return sp.node
+}
+
+// AddIndex registers an authenticated index. Indexes must be added before
+// the blocks they should cover are processed (on-demand indexes cover data
+// from their adoption point onward).
+func (sp *ServiceProvider) AddIndex(ix *TwoLevel) error {
+	if _, ok := sp.indexes[ix.Name()]; ok {
+		return fmt.Errorf("query: index %q already added", ix.Name())
+	}
+	sp.indexes[ix.Name()] = ix
+	return nil
+}
+
+// Index returns a registered index.
+func (sp *ServiceProvider) Index(name string) (*TwoLevel, error) {
+	ix, ok := sp.indexes[name]
+	if !ok {
+		return nil, fmt.Errorf("query: unknown index %q", name)
+	}
+	return ix, nil
+}
+
+// ProcessBlock validates the block as a full node, advances the state
+// replica, and applies the block to every index.
+func (sp *ServiceProvider) ProcessBlock(blk *chain.Block) error {
+	writes, err := sp.node.ValidateBlock(blk)
+	if err != nil {
+		return err
+	}
+	if _, err := sp.node.State().Commit(writes); err != nil {
+		return err
+	}
+	if _, err := sp.node.Store().Add(blk); err != nil {
+		return err
+	}
+	for _, ix := range sp.indexes {
+		if err := ix.Apply(blk, writes); err != nil {
+			return fmt.Errorf("query: apply to %q: %w", ix.Name(), err)
+		}
+	}
+	return nil
+}
+
+// HistoricalResult is the SP's answer to a historical range query.
+type HistoricalResult struct {
+	// Key is the queried state key.
+	Key string
+	// Lo and Hi bound the version window.
+	Lo, Hi uint64
+	// Entries are the claimed results.
+	Entries []mbtree.Entry
+	// Proof is the integrity/completeness proof.
+	Proof *RangeProof
+}
+
+// HistoricalQuery answers "values of key in [lo, hi]" on the named index.
+func (sp *ServiceProvider) HistoricalQuery(index, key string, lo, hi uint64) (*HistoricalResult, error) {
+	ix, err := sp.Index(index)
+	if err != nil {
+		return nil, err
+	}
+	entries, proof, err := ix.QueryRange(key, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return &HistoricalResult{Key: key, Lo: lo, Hi: hi, Entries: entries, Proof: proof}, nil
+}
+
+// VerifyHistorical validates a historical result against the certified index
+// root.
+func VerifyHistorical(indexRoot chash.Hash, res *HistoricalResult) error {
+	return VerifyRange(indexRoot, res.Key, res.Lo, res.Hi, res.Entries, res.Proof)
+}
+
+// Posting is one keyword-index hit.
+type Posting struct {
+	// Version encodes (height, txIndex); see PostingVersion.
+	Version uint64
+	// TxHash is the matching transaction's digest.
+	TxHash chash.Hash
+}
+
+// KeywordResult is the SP's answer to a conjunctive keyword query: the
+// per-keyword posting lists with proofs, plus the claimed intersection.
+type KeywordResult struct {
+	// Keywords are the conjuncts, in query order.
+	Keywords []string
+	// Lists holds each keyword's complete posting list.
+	Lists [][]mbtree.Entry
+	// Proofs authenticate each list.
+	Proofs []*RangeProof
+	// Matches is the claimed intersection (transactions containing ALL
+	// keywords), ordered by version.
+	Matches []Posting
+}
+
+// ProofSize returns the total proof size in bytes.
+func (r *KeywordResult) ProofSize() int {
+	size := 0
+	for _, p := range r.Proofs {
+		size += p.EncodedSize()
+	}
+	return size
+}
+
+// KeywordQuery answers a conjunctive keyword query (q = [w1 AND w2 AND …],
+// §5.4) on the named index.
+func (sp *ServiceProvider) KeywordQuery(index string, keywords []string) (*KeywordResult, error) {
+	if len(keywords) == 0 {
+		return nil, fmt.Errorf("query: empty keyword query")
+	}
+	ix, err := sp.Index(index)
+	if err != nil {
+		return nil, err
+	}
+	res := &KeywordResult{Keywords: keywords}
+	for _, kw := range keywords {
+		entries, proof, err := ix.QueryRange(kw, 0, math.MaxUint64)
+		if err != nil {
+			return nil, err
+		}
+		res.Lists = append(res.Lists, entries)
+		res.Proofs = append(res.Proofs, proof)
+	}
+	res.Matches = intersectPostings(res.Lists)
+	return res, nil
+}
+
+// intersectPostings intersects sorted posting lists by version.
+func intersectPostings(lists [][]mbtree.Entry) []Posting {
+	if len(lists) == 0 {
+		return nil
+	}
+	// Start with the shortest list to bound work.
+	shortest := 0
+	for i, l := range lists {
+		if len(l) < len(lists[shortest]) {
+			shortest = i
+		}
+	}
+	var out []Posting
+	for _, e := range lists[shortest] {
+		inAll := true
+		for i, l := range lists {
+			if i == shortest {
+				continue
+			}
+			if !containsVersion(l, e.Version) {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			h, err := chash.FromBytes(e.Value)
+			if err != nil {
+				continue // malformed entry cannot be a genuine posting
+			}
+			out = append(out, Posting{Version: e.Version, TxHash: h})
+		}
+	}
+	return out
+}
+
+// containsVersion binary-searches a sorted entry list.
+func containsVersion(l []mbtree.Entry, v uint64) bool {
+	lo, hi := 0, len(l)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case l[mid].Version == v:
+			return true
+		case l[mid].Version < v:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return false
+}
+
+// VerifyKeyword validates a conjunctive keyword result against the certified
+// index root: each posting list is verified complete, and the intersection
+// is recomputed locally and compared with the claim.
+func VerifyKeyword(indexRoot chash.Hash, res *KeywordResult) error {
+	if len(res.Keywords) == 0 || len(res.Lists) != len(res.Keywords) || len(res.Proofs) != len(res.Keywords) {
+		return fmt.Errorf("%w: malformed keyword result", ErrBadProof)
+	}
+	for i, kw := range res.Keywords {
+		if err := VerifyRange(indexRoot, kw, 0, math.MaxUint64, res.Lists[i], res.Proofs[i]); err != nil {
+			return fmt.Errorf("%w: keyword %q: %v", ErrBadProof, kw, err)
+		}
+	}
+	want := intersectPostings(res.Lists)
+	if len(want) != len(res.Matches) {
+		return fmt.Errorf("%w: %d matches claimed, %d proven", ErrResultMismatch, len(res.Matches), len(want))
+	}
+	for i := range want {
+		if want[i] != res.Matches[i] {
+			return fmt.Errorf("%w: match %d", ErrResultMismatch, i)
+		}
+	}
+	return nil
+}

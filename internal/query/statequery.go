@@ -1,0 +1,117 @@
+package query
+
+import (
+	"bytes"
+	"fmt"
+
+	"dcert/internal/chain"
+	"dcert/internal/chash"
+	"dcert/internal/mht"
+	"dcert/internal/mpt"
+)
+
+// Direct state and transaction queries (§1, §2.1): a light client verifies
+// "specific transaction/state data retrieved from full nodes" against the
+// roots committed in a block header. With DCert, the header itself is
+// attested by the block certificate, so a superlight client gets the same
+// capability from its single stored header.
+
+// StateResult is a proven read of one state key at the tip.
+type StateResult struct {
+	// Key is the state key.
+	Key string
+	// Value is the claimed value (nil = proven absent).
+	Value []byte
+	// Proof is the MPT path witness against the header's state root.
+	Proof *mpt.Witness
+}
+
+// EncodedSize returns the proof size in bytes.
+func (r *StateResult) EncodedSize() int {
+	return r.Proof.EncodedSize()
+}
+
+// StateQuery answers a direct state read with a Merkle proof against the
+// SP's current tip state (whose root is in the tip header the client has
+// certified).
+func (sp *ServiceProvider) StateQuery(key string) (*StateResult, error) {
+	value, err := sp.node.State().Get([]byte(key))
+	if err != nil {
+		return nil, err
+	}
+	proof, err := sp.node.State().Prove([]byte(key))
+	if err != nil {
+		return nil, fmt.Errorf("query: state proof: %w", err)
+	}
+	return &StateResult{Key: key, Value: value, Proof: proof}, nil
+}
+
+// VerifyState validates a state read against a certified header's state
+// root. Nil value claims are absence proofs.
+func VerifyState(hdr *chain.Header, res *StateResult) error {
+	if res == nil || res.Proof == nil {
+		return fmt.Errorf("%w: missing state proof", ErrBadProof)
+	}
+	got, err := mpt.VerifyProof(hdr.StateRoot, []byte(res.Key), res.Proof)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadProof, err)
+	}
+	if !bytes.Equal(got, res.Value) {
+		return fmt.Errorf("%w: state value", ErrResultMismatch)
+	}
+	return nil
+}
+
+// TxResult is a proven inclusion of one transaction in a block.
+type TxResult struct {
+	// BlockHash names the containing block.
+	BlockHash chash.Hash
+	// Index is the transaction's position.
+	Index int
+	// Tx is the transaction.
+	Tx *chain.Transaction
+	// Proof is the Merkle path against the header's tx root.
+	Proof *mht.Proof
+}
+
+// TxQuery returns a transaction with its inclusion proof.
+func (sp *ServiceProvider) TxQuery(blockHash chash.Hash, index int) (*TxResult, error) {
+	blk, err := sp.node.Store().Get(blockHash)
+	if err != nil {
+		return nil, err
+	}
+	if index < 0 || index >= len(blk.Txs) {
+		return nil, fmt.Errorf("query: tx index %d out of range (%d txs)", index, len(blk.Txs))
+	}
+	digests := make([]chash.Hash, len(blk.Txs))
+	for i, tx := range blk.Txs {
+		digests[i] = tx.Hash()
+	}
+	tree, err := mht.BuildFromDigests(digests)
+	if err != nil {
+		return nil, err
+	}
+	proof, err := tree.Prove(index)
+	if err != nil {
+		return nil, err
+	}
+	return &TxResult{BlockHash: blockHash, Index: index, Tx: blk.Txs[index], Proof: proof}, nil
+}
+
+// VerifyTx validates a transaction inclusion claim against a certified
+// header (its TxRoot) and checks the transaction's own signature.
+func VerifyTx(hdr *chain.Header, res *TxResult) error {
+	if res == nil || res.Proof == nil || res.Tx == nil {
+		return fmt.Errorf("%w: missing tx proof", ErrBadProof)
+	}
+	if hdr.Hash() != res.BlockHash {
+		return fmt.Errorf("%w: header is not the claimed block", ErrBadProof)
+	}
+	if err := res.Proof.VerifyDigest(hdr.TxRoot, res.Tx.Hash()); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadProof, err)
+	}
+	if err := res.Tx.Verify(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadProof, err)
+	}
+	return nil
+}

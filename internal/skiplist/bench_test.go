@@ -1,0 +1,51 @@
+package skiplist
+
+import (
+	"fmt"
+	"testing"
+)
+
+func populated(b *testing.B, n int) *List {
+	b.Helper()
+	l := New()
+	for i := 0; i < n; i++ {
+		l.Insert(uint64(i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	l.Root()
+	return l
+}
+
+func BenchmarkRangeScan(b *testing.B) {
+	l := populated(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Range(4000, 4200); err != nil {
+			b.Fatalf("Range: %v", err)
+		}
+	}
+}
+
+func BenchmarkProveRange(b *testing.B) {
+	l := populated(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.ProveRange(4000, 4200); err != nil {
+			b.Fatalf("ProveRange: %v", err)
+		}
+	}
+}
+
+func BenchmarkVerifyRange(b *testing.B) {
+	l := populated(b, 10000)
+	root := l.Root()
+	proof, err := l.ProveRange(4000, 4200)
+	if err != nil {
+		b.Fatalf("ProveRange: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := VerifyRange(root, 4000, 4200, proof); err != nil {
+			b.Fatalf("VerifyRange: %v", err)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+// Package skiplist implements an authenticated deterministic skip list over
+// versioned values, modelled after the provenance index of LineageChain
+// (Ruan et al., PVLDB'19). It serves as the baseline that DCert's two-level
+// MPT + Merkle B-tree index is compared against in Fig. 11 of the paper.
+//
+// Every (node, level) cell carries a label — the hash of its canonical
+// encoding, which chains rightward (next cell's label) and downward (the
+// cell below). The commitment is the head tower's top label. Proofs reuse
+// the content-addressed witness approach of the other index packages: a
+// proof is the set of cell encodings visited by the query traversal, and
+// verification replays the traversal from the committed root label.
+//
+// Node heights are derived deterministically from the version hash, so the
+// structure (and therefore the root) is history-independent.
+package skiplist
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"dcert/internal/chash"
+)
+
+// Package errors.
+var (
+	// ErrMissingCell is returned when a proof lacks a cell needed by the
+	// verification traversal.
+	ErrMissingCell = errors.New("skiplist: cell not in proof")
+	// ErrBadCell is returned for malformed cell encodings.
+	ErrBadCell = errors.New("skiplist: malformed cell encoding")
+	// ErrBadRange is returned when lo > hi.
+	ErrBadRange = errors.New("skiplist: invalid range")
+)
+
+// maxHeight caps tower heights (64 trailing-zero bits are never observed).
+const maxHeight = 24
+
+// Entry is a versioned value.
+type Entry struct {
+	// Version is the entry key.
+	Version uint64
+	// Value is the stored payload.
+	Value []byte
+}
+
+type snode struct {
+	version uint64
+	value   []byte
+	next    []*snode     // next[l] is the right neighbour at level l
+	labels  []chash.Hash // labels[l] is the cell label at level l
+}
+
+func (n *snode) height() int {
+	return len(n.next)
+}
+
+// heightOf derives the deterministic tower height of a version.
+func heightOf(version uint64) int {
+	h := chash.Sum(chash.DomainIndex, []byte("skiplist-height"), chash.Uint64Bytes(version))
+	tz := bits.TrailingZeros64(uint64(h[0]) | uint64(h[1])<<8 | uint64(h[2])<<16 |
+		uint64(h[3])<<24 | uint64(h[4])<<32 | uint64(h[5])<<40 |
+		uint64(h[6])<<48 | uint64(h[7])<<56)
+	// Halve the expected growth (height increments per 1 zero bit) like a
+	// p=1/2 skip list.
+	height := 1 + tz
+	if height > maxHeight {
+		height = maxHeight
+	}
+	return height
+}
+
+// List is a mutable authenticated skip list.
+//
+// List is not safe for concurrent use.
+type List struct {
+	head  *snode
+	size  int
+	dirty bool
+}
+
+// New returns an empty list.
+func New() *List {
+	return &List{
+		head: &snode{next: make([]*snode, 1), labels: make([]chash.Hash, 1)},
+	}
+}
+
+// Len returns the entry count.
+func (l *List) Len() int {
+	return l.size
+}
+
+// Insert stores value at version, overwriting any existing entry.
+func (l *List) Insert(version uint64, value []byte) {
+	val := make([]byte, len(value))
+	copy(val, value)
+	l.dirty = true
+
+	// Find the update path.
+	update := make([]*snode, l.head.height())
+	cur := l.head
+	for lvl := l.head.height() - 1; lvl >= 0; lvl-- {
+		for cur.next[lvl] != nil && cur.next[lvl].version < version {
+			cur = cur.next[lvl]
+		}
+		update[lvl] = cur
+	}
+	if target := cur.next[0]; target != nil && target.version == version {
+		target.value = val
+		return
+	}
+
+	h := heightOf(version)
+	for l.head.height() < h {
+		l.head.next = append(l.head.next, nil)
+		l.head.labels = append(l.head.labels, chash.Zero)
+		update = append(update, l.head)
+	}
+	n := &snode{version: version, value: val, next: make([]*snode, h), labels: make([]chash.Hash, h)}
+	for lvl := 0; lvl < h; lvl++ {
+		n.next[lvl] = update[lvl].next[lvl]
+		update[lvl].next[lvl] = n
+	}
+	l.size++
+}
+
+// Get returns the value at the exact version, or nil if absent.
+func (l *List) Get(version uint64) []byte {
+	cur := l.head
+	for lvl := l.head.height() - 1; lvl >= 0; lvl-- {
+		for cur.next[lvl] != nil && cur.next[lvl].version < version {
+			cur = cur.next[lvl]
+		}
+	}
+	if n := cur.next[0]; n != nil && n.version == version {
+		return n.Value()
+	}
+	return nil
+}
+
+// Value returns a copy of the node's value.
+func (n *snode) Value() []byte {
+	out := make([]byte, len(n.value))
+	copy(out, n.value)
+	return out
+}
+
+// Range returns all entries with versions in [lo, hi], in order.
+func (l *List) Range(lo, hi uint64) ([]Entry, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("%w: [%d, %d]", ErrBadRange, lo, hi)
+	}
+	var out []Entry
+	cur := l.head
+	for lvl := l.head.height() - 1; lvl >= 0; lvl-- {
+		for cur.next[lvl] != nil && cur.next[lvl].version < lo {
+			cur = cur.next[lvl]
+		}
+	}
+	for n := cur.next[0]; n != nil && n.Version() <= hi; n = n.next[0] {
+		out = append(out, Entry{Version: n.version, Value: n.Value()})
+	}
+	return out, nil
+}
+
+// Version returns the node's version.
+func (n *snode) Version() uint64 {
+	return n.version
+}
+
+// Cell encoding tags.
+const (
+	tagHead byte = 1
+	tagBase byte = 2 // level-0 cell of a value node
+	tagUp   byte = 3 // level>0 cell of a value node
+)
+
+// encodeCell builds the canonical encoding of cell (n, lvl). Labels of the
+// referenced cells (right and down) must be current.
+func encodeCell(n *snode, lvl int, isHead bool) []byte {
+	e := chash.NewEncoder(64)
+	switch {
+	case isHead:
+		e.PutByte(tagHead)
+		e.PutUint32(uint32(lvl))
+		if lvl > 0 {
+			e.PutHash(n.labels[lvl-1])
+		}
+	case lvl == 0:
+		e.PutByte(tagBase)
+		e.PutUint64(n.version)
+		e.PutBytes(n.value)
+	default:
+		e.PutByte(tagUp)
+		e.PutUint64(n.version)
+		e.PutHash(n.labels[lvl-1])
+	}
+	next := n.next[lvl]
+	if next == nil {
+		e.PutHash(chash.Zero)
+	} else {
+		e.PutHash(next.labels[lvl])
+	}
+	return e.Bytes()
+}
+
+// recompute refreshes all labels right-to-left, bottom-up.
+func (l *List) recompute() {
+	// Collect nodes in order.
+	var nodes []*snode
+	for n := l.head.next[0]; n != nil; n = n.next[0] {
+		nodes = append(nodes, n)
+	}
+	maxH := l.head.height()
+	for lvl := 0; lvl < maxH; lvl++ {
+		// Right-to-left so next labels are current.
+		for i := len(nodes) - 1; i >= 0; i-- {
+			n := nodes[i]
+			if lvl >= n.height() {
+				continue
+			}
+			n.labels[lvl] = chash.Sum(chash.DomainIndex, encodeCell(n, lvl, false))
+		}
+		l.head.labels[lvl] = chash.Sum(chash.DomainIndex, encodeCell(l.head, lvl, true))
+	}
+	l.dirty = false
+}
+
+// Root returns the commitment: the head tower's top label.
+func (l *List) Root() chash.Hash {
+	if l.dirty || l.size == 0 && l.head.labels[0].IsZero() {
+		l.recompute()
+	}
+	return l.head.labels[l.head.height()-1]
+}
+
+// Proof is a set of content-addressed cell encodings covering a query
+// traversal.
+type Proof struct {
+	cells map[chash.Hash][]byte
+}
+
+// NewProof returns an empty proof.
+func NewProof() *Proof {
+	return &Proof{cells: make(map[chash.Hash][]byte)}
+}
+
+func (p *Proof) add(raw []byte) {
+	h := chash.Sum(chash.DomainIndex, raw)
+	if _, ok := p.cells[h]; ok {
+		return
+	}
+	cp := make([]byte, len(raw))
+	copy(cp, raw)
+	p.cells[h] = cp
+}
+
+func (p *Proof) cell(h chash.Hash) ([]byte, error) {
+	raw, ok := p.cells[h]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrMissingCell, h)
+	}
+	if chash.Sum(chash.DomainIndex, raw) != h {
+		return nil, fmt.Errorf("%w: bytes do not hash to label", ErrBadCell)
+	}
+	return raw, nil
+}
+
+// Len returns the number of distinct cells.
+func (p *Proof) Len() int {
+	return len(p.cells)
+}
+
+// EncodedSize returns the serialized proof size in bytes (the Fig. 11
+// proof-size metric).
+func (p *Proof) EncodedSize() int {
+	size := 4
+	for _, raw := range p.cells {
+		size += 4 + len(raw)
+	}
+	return size
+}
+
+// ProveRange builds the integrity/completeness proof for Range(lo, hi).
+func (l *List) ProveRange(lo, hi uint64) (*Proof, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("%w: [%d, %d]", ErrBadRange, lo, hi)
+	}
+	l.Root() // ensure labels are current
+	p := NewProof()
+
+	cur := l.head
+	curHead := true
+	for lvl := l.head.height() - 1; lvl >= 0; lvl-- {
+		p.add(encodeCell(cur, lvl, curHead))
+		for cur.next[lvl] != nil && cur.next[lvl].version < lo {
+			cur = cur.next[lvl]
+			curHead = false
+			p.add(encodeCell(cur, lvl, false))
+		}
+		// The cell one past (if any) bounds the move; the verifier resolves
+		// it to learn its version, so include it.
+		if nxt := cur.next[lvl]; nxt != nil {
+			p.add(encodeCell(nxt, lvl, false))
+		}
+	}
+	for n := cur.next[0]; n != nil && n.version <= hi; n = n.next[0] {
+		p.add(encodeCell(n, 0, false))
+		if nxt := n.next[0]; nxt != nil {
+			p.add(encodeCell(nxt, 0, false))
+		}
+	}
+	return p, nil
+}
+
+// decodedCell is a parsed cell.
+type decodedCell struct {
+	tag     byte
+	level   uint32
+	version uint64
+	value   []byte
+	down    chash.Hash
+	next    chash.Hash
+}
+
+func decodeCell(raw []byte) (*decodedCell, error) {
+	d := chash.NewDecoder(raw)
+	tag, err := d.Byte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+	}
+	c := &decodedCell{tag: tag}
+	switch tag {
+	case tagHead:
+		if c.level, err = d.Uint32(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+		}
+		if c.level > 0 {
+			if c.down, err = d.ReadHash(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+			}
+		}
+	case tagBase:
+		if c.version, err = d.Uint64(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+		}
+		if c.value, err = d.ReadBytes(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+		}
+	case tagUp:
+		if c.version, err = d.Uint64(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+		}
+		if c.down, err = d.ReadHash(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown tag %d", ErrBadCell, tag)
+	}
+	if c.next, err = d.ReadHash(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+	}
+	return c, nil
+}
+
+// VerifyRange replays the range traversal against the committed root label
+// and returns the complete, authenticated result set.
+func VerifyRange(root chash.Hash, lo, hi uint64, proof *Proof) ([]Entry, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("%w: [%d, %d]", ErrBadRange, lo, hi)
+	}
+	if root.IsZero() {
+		return nil, fmt.Errorf("%w: zero root", ErrBadCell)
+	}
+	resolve := func(h chash.Hash) (*decodedCell, error) {
+		raw, err := proof.cell(h)
+		if err != nil {
+			return nil, err
+		}
+		return decodeCell(raw)
+	}
+
+	cur, err := resolve(root)
+	if err != nil {
+		return nil, err
+	}
+	if cur.tag != tagHead {
+		return nil, fmt.Errorf("%w: root is not a head cell", ErrBadCell)
+	}
+	// Descend: at each level move right while next.version < lo, then down.
+	for {
+		// Move right as far as possible at this level.
+		for !cur.next.IsZero() {
+			nxt, err := resolve(cur.next)
+			if err != nil {
+				return nil, err
+			}
+			if nxt.tag == tagHead {
+				return nil, fmt.Errorf("%w: head cell in chain", ErrBadCell)
+			}
+			if nxt.version >= lo {
+				break
+			}
+			cur = nxt
+		}
+		if cur.tag == tagBase || cur.tag == tagHead && cur.level == 0 {
+			break
+		}
+		down, err := resolve(cur.down)
+		if err != nil {
+			return nil, err
+		}
+		cur = down
+	}
+	// Level-0 walk collecting the results.
+	var out []Entry
+	next := cur.next
+	for !next.IsZero() {
+		c, err := resolve(next)
+		if err != nil {
+			return nil, err
+		}
+		if c.tag != tagBase {
+			return nil, fmt.Errorf("%w: non-base cell on level 0", ErrBadCell)
+		}
+		if c.version > hi {
+			break
+		}
+		if c.version >= lo {
+			out = append(out, Entry{Version: c.version, Value: c.value})
+		}
+		next = c.next
+	}
+	return out, nil
+}

@@ -1,0 +1,283 @@
+package skiplist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dcert/internal/chash"
+)
+
+func buildList(t *testing.T, n int) *List {
+	t.Helper()
+	l := New()
+	for i := 0; i < n; i++ {
+		l.Insert(uint64(i*3), []byte(fmt.Sprintf("v%d", i)))
+	}
+	return l
+}
+
+func TestEmptyList(t *testing.T) {
+	l := New()
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.Get(5) != nil {
+		t.Fatal("Get on empty list must return nil")
+	}
+	got, err := l.Range(0, 100)
+	if err != nil {
+		t.Fatalf("Range: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("Range returned %d entries", len(got))
+	}
+	if l.Root().IsZero() {
+		t.Fatal("empty list still commits to a head label")
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	l := buildList(t, 500)
+	if l.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", l.Len())
+	}
+	for i := 0; i < 500; i++ {
+		want := fmt.Sprintf("v%d", i)
+		if got := l.Get(uint64(i * 3)); !bytes.Equal(got, []byte(want)) {
+			t.Fatalf("Get(%d) = %q, want %q", i*3, got, want)
+		}
+		if got := l.Get(uint64(i*3 + 1)); got != nil {
+			t.Fatalf("Get(absent) = %q", got)
+		}
+	}
+}
+
+func TestInsertOverwrite(t *testing.T) {
+	l := New()
+	l.Insert(9, []byte("old"))
+	l.Insert(9, []byte("new"))
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+	if got := l.Get(9); !bytes.Equal(got, []byte("new")) {
+		t.Fatalf("Get = %q", got)
+	}
+}
+
+func TestRange(t *testing.T) {
+	l := buildList(t, 200) // versions 0,3,...,597
+	tests := []struct {
+		lo, hi uint64
+		want   int
+	}{
+		{0, 597, 200},
+		{0, 0, 1},
+		{1, 2, 0},
+		{30, 60, 11},
+		{595, 1000, 1},
+		{700, 900, 0},
+	}
+	for _, tc := range tests {
+		got, err := l.Range(tc.lo, tc.hi)
+		if err != nil {
+			t.Fatalf("Range(%d,%d): %v", tc.lo, tc.hi, err)
+		}
+		if len(got) != tc.want {
+			t.Fatalf("Range(%d,%d) = %d entries, want %d", tc.lo, tc.hi, len(got), tc.want)
+		}
+	}
+	if _, err := l.Range(5, 1); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("want ErrBadRange, got %v", err)
+	}
+}
+
+func TestRootChangesOnInsert(t *testing.T) {
+	l := New()
+	r0 := l.Root()
+	l.Insert(1, []byte("a"))
+	r1 := l.Root()
+	if r0 == r1 {
+		t.Fatal("insert must change the root")
+	}
+	l.Insert(2, []byte("b"))
+	if r1 == l.Root() {
+		t.Fatal("second insert must change the root")
+	}
+}
+
+func TestRootHistoryIndependent(t *testing.T) {
+	versions := make([]uint64, 100)
+	for i := range versions {
+		versions[i] = uint64(i * 7)
+	}
+	a := New()
+	for _, v := range versions {
+		a.Insert(v, []byte(fmt.Sprintf("v%d", v)))
+	}
+	shuffled := append([]uint64(nil), versions...)
+	rand.New(rand.NewSource(3)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	b := New()
+	for _, v := range shuffled {
+		b.Insert(v, []byte(fmt.Sprintf("v%d", v)))
+	}
+	if a.Root() != b.Root() {
+		t.Fatal("deterministic skip list root must be insert-order independent")
+	}
+}
+
+func TestProveVerifyRange(t *testing.T) {
+	l := buildList(t, 300)
+	root := l.Root()
+	for _, rg := range [][2]uint64{{0, 897}, {30, 90}, {0, 0}, {897, 897}, {898, 2000}, {1, 2}} {
+		proof, err := l.ProveRange(rg[0], rg[1])
+		if err != nil {
+			t.Fatalf("ProveRange(%v): %v", rg, err)
+		}
+		got, err := VerifyRange(root, rg[0], rg[1], proof)
+		if err != nil {
+			t.Fatalf("VerifyRange(%v): %v", rg, err)
+		}
+		want, err := l.Range(rg[0], rg[1])
+		if err != nil {
+			t.Fatalf("Range: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("range %v: verified %d entries, want %d", rg, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Version != want[i].Version || !bytes.Equal(got[i].Value, want[i].Value) {
+				t.Fatalf("range %v entry %d mismatch", rg, i)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsWrongRoot(t *testing.T) {
+	l := buildList(t, 50)
+	proof, err := l.ProveRange(0, 30)
+	if err != nil {
+		t.Fatalf("ProveRange: %v", err)
+	}
+	bogus := chash.Leaf([]byte("bogus"))
+	if _, err := VerifyRange(bogus, 0, 30, proof); err == nil {
+		t.Fatal("want error for wrong root")
+	}
+}
+
+func TestVerifyRejectsWidenedRange(t *testing.T) {
+	l := buildList(t, 200)
+	root := l.Root()
+	proof, err := l.ProveRange(30, 60)
+	if err != nil {
+		t.Fatalf("ProveRange: %v", err)
+	}
+	if _, err := VerifyRange(root, 30, 300, proof); !errors.Is(err, ErrMissingCell) {
+		t.Fatalf("want ErrMissingCell for widened range, got %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedCell(t *testing.T) {
+	l := buildList(t, 50)
+	root := l.Root()
+	proof, err := l.ProveRange(0, 60)
+	if err != nil {
+		t.Fatalf("ProveRange: %v", err)
+	}
+	for h, raw := range proof.cells {
+		raw[len(raw)-1] ^= 0x01
+		proof.cells[h] = raw
+		break
+	}
+	if _, err := VerifyRange(root, 0, 60, proof); err == nil {
+		t.Fatal("tampered proof must not verify")
+	}
+}
+
+func TestVerifyRejectsStaleRoot(t *testing.T) {
+	l := buildList(t, 50)
+	oldRoot := l.Root()
+	l.Insert(9999, []byte("late"))
+	proof, err := l.ProveRange(0, 10000)
+	if err != nil {
+		t.Fatalf("ProveRange: %v", err)
+	}
+	if _, err := VerifyRange(oldRoot, 0, 10000, proof); err == nil {
+		t.Fatal("proof against a newer tree must not verify under the stale root")
+	}
+}
+
+func TestProofSizeGrowsWithRange(t *testing.T) {
+	l := buildList(t, 1000)
+	l.Root()
+	small, err := l.ProveRange(0, 30)
+	if err != nil {
+		t.Fatalf("ProveRange: %v", err)
+	}
+	large, err := l.ProveRange(0, 2997)
+	if err != nil {
+		t.Fatalf("ProveRange: %v", err)
+	}
+	if small.EncodedSize() >= large.EncodedSize() {
+		t.Fatalf("proof sizes: small=%d large=%d", small.EncodedSize(), large.EncodedSize())
+	}
+	if small.Len() <= 0 {
+		t.Fatal("proof must contain cells")
+	}
+}
+
+func TestHeightDeterministic(t *testing.T) {
+	for v := uint64(0); v < 1000; v++ {
+		if heightOf(v) != heightOf(v) {
+			t.Fatal("height must be deterministic")
+		}
+		if h := heightOf(v); h < 1 || h > maxHeight {
+			t.Fatalf("height %d out of range", h)
+		}
+	}
+}
+
+func TestRangeProofQuick(t *testing.T) {
+	// Property: for random contents and ranges, the verified result always
+	// equals the direct range scan.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := New()
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			l.Insert(uint64(rng.Intn(500)), []byte(fmt.Sprintf("v%d", i)))
+		}
+		root := l.Root()
+		lo := uint64(rng.Intn(500))
+		hi := lo + uint64(rng.Intn(100))
+		proof, err := l.ProveRange(lo, hi)
+		if err != nil {
+			return false
+		}
+		got, err := VerifyRange(root, lo, hi, proof)
+		if err != nil {
+			return false
+		}
+		want, err := l.Range(lo, hi)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Version != want[i].Version || !bytes.Equal(got[i].Value, want[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package smt
+
+import (
+	"fmt"
+	"testing"
+
+	"dcert/internal/chash"
+)
+
+func populated(b *testing.B, n int) (*Tree, []Key) {
+	b.Helper()
+	tr, err := New(64)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = KeyFromString(fmt.Sprintf("k%d", i))
+		tr.Put(keys[i], chash.Leaf([]byte(fmt.Sprintf("v%d", i))))
+	}
+	return tr, keys
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr, keys := populated(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(keys[i%len(keys)], chash.Leaf([]byte(fmt.Sprintf("n%d", i))))
+	}
+}
+
+func BenchmarkProve32(b *testing.B) {
+	tr, keys := populated(b, 10000)
+	batch := keys[:32]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Prove(batch); err != nil {
+			b.Fatalf("Prove: %v", err)
+		}
+	}
+}
+
+func BenchmarkUpdateRoot32(b *testing.B) {
+	tr, keys := populated(b, 10000)
+	batch := keys[:32]
+	proof, err := tr.Prove(batch)
+	if err != nil {
+		b.Fatalf("Prove: %v", err)
+	}
+	oldVals := make(map[Key]chash.Hash, 32)
+	newVals := make(map[Key]chash.Hash, 32)
+	for i, k := range batch {
+		oldVals[k] = tr.Get(k)
+		newVals[k] = chash.Leaf([]byte(fmt.Sprintf("new%d", i)))
+	}
+	root := tr.Root()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proof.UpdateRoot(root, oldVals, newVals); err != nil {
+			b.Fatalf("UpdateRoot: %v", err)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package smt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dcert/internal/chash"
+)
+
+// rawKey builds a key whose leading bits match the given '0'/'1' pattern,
+// mirroring the 2-bit keys (00, 01, 10, 11) of Fig. 4 in the paper.
+func rawKey(bits string) Key {
+	var k Key
+	for i, c := range bits {
+		if c == '1' {
+			k[i/8] |= 1 << (7 - i%8)
+		}
+	}
+	return k
+}
+
+func valHash(s string) chash.Hash {
+	return chash.Leaf([]byte(s))
+}
+
+func TestNewRejectsBadDepth(t *testing.T) {
+	for _, d := range []int{0, -1, MaxDepth + 1} {
+		if _, err := New(d); !errors.Is(err, ErrBadDepth) {
+			t.Fatalf("depth %d: want ErrBadDepth, got %v", d, err)
+		}
+	}
+}
+
+func TestEmptyTreeRoot(t *testing.T) {
+	a, err := New(4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	b, err := New(4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if a.Root() != b.Root() {
+		t.Fatal("empty roots of equal depth must match")
+	}
+	c, err := New(5)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if a.Root() == c.Root() {
+		t.Fatal("empty roots of different depths must differ")
+	}
+}
+
+func TestFig4Structure(t *testing.T) {
+	// Fig. 4: depth-2 tree with keys 00..11 holding v1..v4.
+	tree, err := New(2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	v := []chash.Hash{valHash("v1"), valHash("v2"), valHash("v3"), valHash("v4")}
+	keys := []Key{rawKey("00"), rawKey("01"), rawKey("10"), rawKey("11")}
+	for i, k := range keys {
+		tree.Put(k, v[i])
+	}
+	// Root = H( H(v1||v2) || H(v3||v4) ) with our node hashing.
+	want := chash.Node(chash.Node(v[0], v[1]), chash.Node(v[2], v[3]))
+	if tree.Root() != want {
+		t.Fatal("root does not match hand-computed Fig. 4 structure")
+	}
+}
+
+func TestFig4UpdateExample(t *testing.T) {
+	// Reproduce the paper's running example: read {00:v1}, write {01:v2'}.
+	tree, err := New(2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	v := map[string]chash.Hash{
+		"00": valHash("v1"), "01": valHash("v2"),
+		"10": valHash("v3"), "11": valHash("v4"),
+	}
+	for bits, h := range v {
+		tree.Put(rawKey(bits), h)
+	}
+	oldRoot := tree.Root()
+
+	// Read proof for key 00.
+	readProof, err := tree.Prove([]Key{rawKey("00")})
+	if err != nil {
+		t.Fatalf("Prove(read): %v", err)
+	}
+	if err := readProof.Verify(oldRoot, map[Key]chash.Hash{rawKey("00"): v["00"]}); err != nil {
+		t.Fatalf("read proof verify: %v", err)
+	}
+
+	// Write proof for key 01: verify old value then compute updated root.
+	writeProof, err := tree.Prove([]Key{rawKey("01")})
+	if err != nil {
+		t.Fatalf("Prove(write): %v", err)
+	}
+	v2New := valHash("v2'")
+	newRoot, err := writeProof.UpdateRoot(oldRoot,
+		map[Key]chash.Hash{rawKey("01"): v["01"]},
+		map[Key]chash.Hash{rawKey("01"): v2New},
+	)
+	if err != nil {
+		t.Fatalf("UpdateRoot: %v", err)
+	}
+
+	// The stateless update must agree with mutating the real tree.
+	tree.Put(rawKey("01"), v2New)
+	if newRoot != tree.Root() {
+		t.Fatal("stateless root update disagrees with the real tree")
+	}
+}
+
+func TestAbsenceProof(t *testing.T) {
+	tree, err := New(8)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tree.Put(rawKey("00000001"), valHash("present"))
+
+	absent := rawKey("10000000")
+	p, err := tree.Prove([]Key{absent})
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if err := p.Verify(tree.Root(), map[Key]chash.Hash{absent: chash.Zero}); err != nil {
+		t.Fatalf("absence proof failed: %v", err)
+	}
+	// Claiming the absent key holds a value must fail.
+	if err := p.Verify(tree.Root(), map[Key]chash.Hash{absent: valHash("forged")}); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("want ErrBadProof, got %v", err)
+	}
+}
+
+func TestDeleteRestoresEmptyRoot(t *testing.T) {
+	tree, err := New(16)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	empty := tree.Root()
+	k := KeyFromString("acct")
+	tree.Put(k, valHash("v"))
+	if tree.Root() == empty {
+		t.Fatal("insert must change the root")
+	}
+	if tree.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tree.Len())
+	}
+	tree.Put(k, chash.Zero)
+	if tree.Root() != empty {
+		t.Fatal("deleting the only leaf must restore the empty root")
+	}
+	if tree.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tree.Len())
+	}
+}
+
+func TestGet(t *testing.T) {
+	tree, err := New(16)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	k := KeyFromString("k")
+	if !tree.Get(k).IsZero() {
+		t.Fatal("absent key must read as zero")
+	}
+	tree.Put(k, valHash("v"))
+	if tree.Get(k) != valHash("v") {
+		t.Fatal("Get after Put mismatch")
+	}
+}
+
+func TestMultiKeyProofAndBatchUpdate(t *testing.T) {
+	tree, err := New(32)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const n = 64
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = KeyFromString(fmt.Sprintf("key-%d", i))
+		tree.Put(keys[i], valHash(fmt.Sprintf("val-%d", i)))
+	}
+	oldRoot := tree.Root()
+
+	// Prove a mixed batch: some present keys plus one absent.
+	batch := []Key{keys[3], keys[17], keys[42], KeyFromString("missing")}
+	p, err := tree.Prove(batch)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	oldVals := map[Key]chash.Hash{
+		keys[3]:                  valHash("val-3"),
+		keys[17]:                 valHash("val-17"),
+		keys[42]:                 valHash("val-42"),
+		KeyFromString("missing"): chash.Zero,
+	}
+	newVals := map[Key]chash.Hash{
+		keys[3]:                  valHash("val-3'"),
+		keys[17]:                 valHash("val-17"), // unchanged
+		keys[42]:                 chash.Zero,        // deleted
+		KeyFromString("missing"): valHash("created"),
+	}
+	newRoot, err := p.UpdateRoot(oldRoot, oldVals, newVals)
+	if err != nil {
+		t.Fatalf("UpdateRoot: %v", err)
+	}
+
+	for k, v := range newVals {
+		tree.Put(k, v)
+	}
+	if newRoot != tree.Root() {
+		t.Fatal("batch stateless update disagrees with the real tree")
+	}
+}
+
+func TestProofRejectsTamperedValue(t *testing.T) {
+	tree, err := New(32)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	k := KeyFromString("k")
+	tree.Put(k, valHash("honest"))
+	p, err := tree.Prove([]Key{k})
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if err := p.Verify(tree.Root(), map[Key]chash.Hash{k: valHash("tampered")}); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("want ErrBadProof, got %v", err)
+	}
+}
+
+func TestProofRejectsKeySetMismatch(t *testing.T) {
+	tree, err := New(32)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, b := KeyFromString("a"), KeyFromString("b")
+	tree.Put(a, valHash("va"))
+	tree.Put(b, valHash("vb"))
+	p, err := tree.Prove([]Key{a, b})
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if err := p.Verify(tree.Root(), map[Key]chash.Hash{a: valHash("va")}); !errors.Is(err, ErrKeyMismatch) {
+		t.Fatalf("want ErrKeyMismatch, got %v", err)
+	}
+	if err := p.Verify(tree.Root(), map[Key]chash.Hash{
+		a: valHash("va"), KeyFromString("c"): valHash("vc"),
+	}); !errors.Is(err, ErrKeyMismatch) {
+		t.Fatalf("want ErrKeyMismatch, got %v", err)
+	}
+}
+
+func TestProofRejectsForgedFill(t *testing.T) {
+	tree, err := New(32)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, b := KeyFromString("a"), KeyFromString("b")
+	tree.Put(a, valHash("va"))
+	tree.Put(b, valHash("vb"))
+	p, err := tree.Prove([]Key{a})
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	// Corrupt one fill digest.
+	for prefix := range p.Fills {
+		p.Fills[prefix] = valHash("forged")
+		break
+	}
+	if err := p.Verify(tree.Root(), map[Key]chash.Hash{a: valHash("va")}); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("want ErrBadProof, got %v", err)
+	}
+}
+
+func TestProveZeroKeys(t *testing.T) {
+	tree, err := New(8)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := tree.Prove(nil); err == nil {
+		t.Fatal("want error for empty key set")
+	}
+}
+
+func TestProveDeduplicatesKeys(t *testing.T) {
+	tree, err := New(16)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	k := KeyFromString("dup")
+	tree.Put(k, valHash("v"))
+	p, err := tree.Prove([]Key{k, k, k})
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if len(p.Keys) != 1 {
+		t.Fatalf("want 1 deduplicated key, got %d", len(p.Keys))
+	}
+}
+
+func TestEncodedSizePositive(t *testing.T) {
+	tree, err := New(64)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 32; i++ {
+		tree.Put(KeyFromString(fmt.Sprintf("k%d", i)), valHash(fmt.Sprintf("v%d", i)))
+	}
+	p, err := tree.Prove([]Key{KeyFromString("k0")})
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if p.EncodedSize() <= chash.Size {
+		t.Fatalf("EncodedSize = %d, suspiciously small", p.EncodedSize())
+	}
+}
+
+func TestRandomizedAgainstRealTreeQuick(t *testing.T) {
+	// Property: for random insert sequences and random proof batches, the
+	// stateless UpdateRoot always agrees with mutating the real tree.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree, err := New(64)
+		if err != nil {
+			return false
+		}
+		n := 1 + rng.Intn(50)
+		keys := make([]Key, n)
+		for i := range keys {
+			keys[i] = KeyFromString(fmt.Sprintf("s%d-k%d", seed, i))
+			tree.Put(keys[i], valHash(fmt.Sprintf("v%d", rng.Int())))
+		}
+		oldRoot := tree.Root()
+
+		k := 1 + rng.Intn(n)
+		batch := make([]Key, 0, k)
+		oldVals := make(map[Key]chash.Hash, k)
+		newVals := make(map[Key]chash.Hash, k)
+		for _, i := range rng.Perm(n)[:k] {
+			batch = append(batch, keys[i])
+			oldVals[keys[i]] = tree.Get(keys[i])
+			newVals[keys[i]] = valHash(fmt.Sprintf("new-%d", rng.Int()))
+		}
+		p, err := tree.Prove(batch)
+		if err != nil {
+			return false
+		}
+		newRoot, err := p.UpdateRoot(oldRoot, oldVals, newVals)
+		if err != nil {
+			return false
+		}
+		for kk, v := range newVals {
+			tree.Put(kk, v)
+		}
+		return newRoot == tree.Root()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyBitAndPath(t *testing.T) {
+	k := rawKey("1010")
+	want := []byte{1, 0, 1, 0}
+	for i, w := range want {
+		if k.Bit(i) != w {
+			t.Fatalf("Bit(%d) = %d, want %d", i, k.Bit(i), w)
+		}
+	}
+	if k.Path(4) != "1010" {
+		t.Fatalf("Path(4) = %q", k.Path(4))
+	}
+}

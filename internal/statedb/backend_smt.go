@@ -1,0 +1,180 @@
+package statedb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"dcert/internal/chain"
+	"dcert/internal/chash"
+	"dcert/internal/smt"
+	"dcert/internal/vm"
+)
+
+// The sparse-Merkle-tree state backend implements the paper's Fig. 4 flow
+// literally: the state commitment is a fixed-depth binary SMT over hashed
+// keys, the update proof carries the explicit prior-value set {r} with one
+// combined multiproof (π_r ∪ π_w), and the enclave recomputes the new root
+// by substituting written leaves into the proof. It exists alongside the
+// default MPT backend so the two commitment designs can be compared (the
+// MPT-vs-SMT ablation).
+
+// ErrUnprovenRead is returned when enclave-side replay reads a key outside
+// the declared prior-value set.
+var ErrUnprovenRead = errors.New("statedb: read outside declared prior set")
+
+// BackendKind selects the state-commitment structure.
+type BackendKind byte
+
+// Supported backends.
+const (
+	// BackendMPT is the Merkle Patricia Trie (Ethereum-style, the default).
+	BackendMPT BackendKind = iota + 1
+	// BackendSMT is the fixed-depth sparse Merkle tree of Fig. 4.
+	BackendSMT
+)
+
+// String implements fmt.Stringer.
+func (k BackendKind) String() string {
+	switch k {
+	case BackendMPT:
+		return "mpt"
+	case BackendSMT:
+		return "smt"
+	default:
+		return fmt.Sprintf("BackendKind(%d)", byte(k))
+	}
+}
+
+// smtStateDepth is the SMT depth for state commitments: 64 bits keeps paths
+// short while making key collisions negligible for realistic state sizes.
+const smtStateDepth = 64
+
+// valueDigest is the SMT leaf digest of a state value.
+func valueDigest(v []byte) chash.Hash {
+	if v == nil {
+		return chash.Zero
+	}
+	return chash.Leaf(v)
+}
+
+// smtState is the SMT-backed half of DB.
+type smtState struct {
+	tree   *smt.Tree
+	values map[string][]byte
+}
+
+func newSMTState() (*smtState, error) {
+	tree, err := smt.New(smtStateDepth)
+	if err != nil {
+		return nil, err
+	}
+	return &smtState{tree: tree, values: make(map[string][]byte)}, nil
+}
+
+func (s *smtState) get(key []byte) ([]byte, error) {
+	return s.values[string(key)], nil
+}
+
+func (s *smtState) set(key, value []byte) error {
+	if len(value) == 0 {
+		return fmt.Errorf("statedb: empty value for %q", key)
+	}
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	s.values[string(key)] = cp
+	s.tree.Put(smt.KeyFromBytes(key), valueDigest(cp))
+	return nil
+}
+
+// updateProofSMT builds the SMT update proof: the prior values of every
+// touched key plus one multiproof covering them all.
+func (s *smtState) updateProof(res *ExecResult) (*UpdateProof, error) {
+	prior := make(map[string][]byte, len(res.ReadSet)+len(res.WriteSet))
+	keys := make([]smt.Key, 0, len(res.ReadSet)+len(res.WriteSet))
+	add := func(k string) {
+		if _, ok := prior[k]; ok {
+			return
+		}
+		prior[k] = s.values[k]
+		keys = append(keys, smt.KeyFromBytes([]byte(k)))
+	}
+	for k := range res.ReadSet {
+		add(k)
+	}
+	for k := range res.WriteSet {
+		add(k)
+	}
+	if len(keys) == 0 {
+		// Block touches no state: a proof over a sentinel key keeps the
+		// structure uniform (and proves the sentinel absent).
+		add("\x00dcert/empty-block-sentinel")
+	}
+	proof, err := s.tree.Prove(keys)
+	if err != nil {
+		return nil, fmt.Errorf("statedb: smt proof: %w", err)
+	}
+	reads := make(map[string][]byte, len(res.ReadSet))
+	for k, v := range res.ReadSet {
+		reads[k] = v
+	}
+	return &UpdateProof{Kind: BackendSMT, ReadSet: reads, Prior: prior, SMT: proof}, nil
+}
+
+// replaySMT is the enclave-side SMT replay: verify {r}∪prior against π, re-
+// execute, substitute written leaves, and recompute the root (Alg. 2 lines
+// 17-23 in their original SMT formulation).
+func replaySMT(prevRoot chash.Hash, proof *UpdateProof, reg *vm.Registry, txs []*chain.Transaction) (chash.Hash, map[string][]byte, error) {
+	if proof.SMT == nil {
+		return chash.Zero, nil, fmt.Errorf("%w: missing SMT proof", ErrReadSetMismatch)
+	}
+	// Map proof keys back to state keys and assemble the old digests.
+	keyOf := make(map[smt.Key]string, len(proof.Prior))
+	oldDigests := make(map[smt.Key]chash.Hash, len(proof.Prior))
+	for k, v := range proof.Prior {
+		sk := smt.KeyFromBytes([]byte(k))
+		keyOf[sk] = k
+		oldDigests[sk] = valueDigest(v)
+	}
+	// verify_mht(H_{i-1}^s, π, prior): the prior set is authenticated.
+	if err := proof.SMT.Verify(prevRoot, oldDigests); err != nil {
+		return chash.Zero, nil, fmt.Errorf("%w: %v", ErrReadSetMismatch, err)
+	}
+	// The declared read set must be consistent with the proven prior set.
+	for k, declared := range proof.ReadSet {
+		prior, ok := proof.Prior[k]
+		if !ok || !bytes.Equal(prior, declared) {
+			return chash.Zero, nil, fmt.Errorf("%w: read %q", ErrReadSetMismatch, k)
+		}
+	}
+
+	// Re-execute against the proven prior values only.
+	o := newOverlay(func(key []byte) ([]byte, error) {
+		v, ok := proof.Prior[string(key)]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnprovenRead, key)
+		}
+		return v, nil
+	})
+	if _, err := runTxs(reg, o, txs); err != nil {
+		return chash.Zero, nil, err
+	}
+
+	// update(π, {w}): substitute the written leaves.
+	newDigests := make(map[smt.Key]chash.Hash, len(oldDigests))
+	for sk, d := range oldDigests {
+		newDigests[sk] = d
+	}
+	for k, v := range o.writes {
+		sk := smt.KeyFromBytes([]byte(k))
+		if _, ok := keyOf[sk]; !ok {
+			return chash.Zero, nil, fmt.Errorf("%w: write %q", ErrUnprovenRead, k)
+		}
+		newDigests[sk] = valueDigest(v)
+	}
+	newRoot, err := proof.SMT.ComputeRoot(newDigests)
+	if err != nil {
+		return chash.Zero, nil, fmt.Errorf("statedb: smt update: %w", err)
+	}
+	return newRoot, o.writes, nil
+}

@@ -1,0 +1,215 @@
+// Package storage persists the canonical chain and its DCert certificates
+// to an append-only archive file, so that full nodes, certificate issuers,
+// and service providers can restart without re-synchronizing from the
+// network. Records are type-tagged and length-prefixed; loading replays them
+// in order, and a fresh full node re-validates every block as it would from
+// live gossip (the archive is untrusted input).
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"dcert/internal/chain"
+	"dcert/internal/chash"
+	"dcert/internal/core"
+	"dcert/internal/node"
+)
+
+// Package errors.
+var (
+	// ErrCorrupt is returned when an archive fails structural validation.
+	ErrCorrupt = errors.New("storage: corrupt archive")
+)
+
+// Record tags.
+const (
+	tagBlock byte = 1
+	tagCert  byte = 2
+)
+
+// maxRecord bounds any single archive record (a block with thousands of
+// transactions stays far below this).
+const maxRecord = 256 << 20
+
+// Archive is an append-only chain archive.
+//
+// Archive is not safe for concurrent use.
+type Archive struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// Create opens (creating or truncating) an archive for writing.
+func Create(path string) (*Archive, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create archive: %w", err)
+	}
+	return &Archive{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// appendRecord writes one tagged record.
+func (a *Archive) appendRecord(tag byte, payload []byte) error {
+	if err := a.w.WriteByte(tag); err != nil {
+		return fmt.Errorf("storage: append: %w", err)
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := a.w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("storage: append: %w", err)
+	}
+	if _, err := a.w.Write(payload); err != nil {
+		return fmt.Errorf("storage: append: %w", err)
+	}
+	return nil
+}
+
+// AppendBlock persists a block.
+func (a *Archive) AppendBlock(blk *chain.Block) error {
+	return a.appendRecord(tagBlock, blk.Marshal())
+}
+
+// AppendCert persists a block's certificate.
+func (a *Archive) AppendCert(blockHash chash.Hash, cert *core.Certificate) error {
+	certRaw := cert.Marshal()
+	e := chash.NewEncoder(8 + chash.Size + len(certRaw))
+	e.PutHash(blockHash)
+	e.PutBytes(certRaw)
+	return a.appendRecord(tagCert, e.Bytes())
+}
+
+// Close flushes and closes the archive.
+func (a *Archive) Close() error {
+	if err := a.w.Flush(); err != nil {
+		return fmt.Errorf("storage: flush: %w", err)
+	}
+	if err := a.f.Close(); err != nil {
+		return fmt.Errorf("storage: close: %w", err)
+	}
+	return nil
+}
+
+// Contents is a loaded archive.
+type Contents struct {
+	// Blocks are the archived blocks in append order (height order for a
+	// canonical chain archive).
+	Blocks []*chain.Block
+	// Certs maps block hashes to their certificates.
+	Certs map[chash.Hash]*core.Certificate
+}
+
+// Load reads an archive back. The data is structurally validated here;
+// semantic validation (PoW, state transitions, certificate chains) happens
+// when replaying into a node or validating certificates.
+func Load(path string) (*Contents, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open archive: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReader(f)
+	out := &Contents{Certs: make(map[chash.Hash]*core.Certificate)}
+	for {
+		tag, err := r.ReadByte()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: read tag: %w", err)
+		}
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated length", ErrCorrupt)
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n > maxRecord {
+			return nil, fmt.Errorf("%w: record of %d bytes", ErrCorrupt, n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("%w: truncated record", ErrCorrupt)
+		}
+		switch tag {
+		case tagBlock:
+			blk, err := chain.UnmarshalBlock(payload)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			out.Blocks = append(out.Blocks, blk)
+		case tagCert:
+			d := chash.NewDecoder(payload)
+			h, err := d.ReadHash()
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			certRaw, err := d.ReadBytes()
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			if err := d.Finish(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			cert, err := core.UnmarshalCertificate(certRaw)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			out.Certs[h] = cert
+		default:
+			return nil, fmt.Errorf("%w: unknown tag %d", ErrCorrupt, tag)
+		}
+	}
+}
+
+// Replay feeds archived blocks (beyond genesis) into a freshly initialized
+// full node, re-running the complete full-node validation for each. It
+// returns the number of blocks applied.
+func Replay(n *node.FullNode, c *Contents) (int, error) {
+	applied := 0
+	for _, blk := range c.Blocks {
+		if blk.Header.Height == 0 {
+			if blk.Hash() != n.Store().Genesis() {
+				return applied, fmt.Errorf("%w: archive genesis mismatch", ErrCorrupt)
+			}
+			continue
+		}
+		if err := n.ProcessBlock(blk); err != nil {
+			return applied, fmt.Errorf("storage: replay height %d: %w", blk.Header.Height, err)
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// WriteChain archives a node's entire canonical chain plus the certificates
+// the issuer holds for it (certificates may be absent for some blocks, e.g.
+// pre-DCert history).
+func WriteChain(path string, n *node.FullNode, certFor func(chash.Hash) (*core.Certificate, bool)) error {
+	a, err := Create(path)
+	if err != nil {
+		return err
+	}
+	store := n.Store()
+	for h := uint64(0); h <= store.BestHeight(); h++ {
+		blk, err := store.AtHeight(h)
+		if err != nil {
+			return fmt.Errorf("storage: write height %d: %w", h, err)
+		}
+		if err := a.AppendBlock(blk); err != nil {
+			return err
+		}
+		if certFor != nil {
+			if cert, ok := certFor(blk.Hash()); ok {
+				if err := a.AppendCert(blk.Hash(), cert); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return a.Close()
+}

@@ -1,0 +1,262 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcert/internal/attest"
+	"dcert/internal/chash"
+	"dcert/internal/consensus"
+	"dcert/internal/core"
+	"dcert/internal/enclave"
+	"dcert/internal/node"
+	"dcert/internal/vm"
+	"dcert/internal/workload"
+)
+
+// archiveEnv wires a miner + issuer whose chain we archive and restore.
+type archiveEnv struct {
+	authority *attest.Authority
+	miner     *node.Miner
+	issuer    *core.Issuer
+	mkNode    func() *node.FullNode
+	gen       *workload.Generator
+}
+
+func newArchiveEnv(t *testing.T) *archiveEnv {
+	t.Helper()
+	params := consensus.Params{Difficulty: 2}
+	cfg := workload.Config{Kind: workload.KVStore, Contracts: 3, Seed: 7, KeySpace: 40}
+
+	mkNode := func() *node.FullNode {
+		t.Helper()
+		reg := vm.NewRegistry()
+		if err := workload.Register(reg, cfg.Kind, cfg.Contracts); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		genesis, db, err := node.BuildGenesis(node.GenesisConfig{Time: 1, Consensus: params})
+		if err != nil {
+			t.Fatalf("BuildGenesis: %v", err)
+		}
+		n, err := node.NewFullNode(genesis, db, reg, params)
+		if err != nil {
+			t.Fatalf("NewFullNode: %v", err)
+		}
+		return n
+	}
+
+	authority, err := attest.NewAuthority()
+	if err != nil {
+		t.Fatalf("NewAuthority: %v", err)
+	}
+	platform, err := authority.NewPlatform()
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	issuer, err := core.NewIssuer(mkNode(), authority, platform, enclave.CostModel{})
+	if err != nil {
+		t.Fatalf("NewIssuer: %v", err)
+	}
+	accounts, err := workload.NewAccounts(6)
+	if err != nil {
+		t.Fatalf("NewAccounts: %v", err)
+	}
+	gen, err := workload.NewGenerator(cfg, accounts)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return &archiveEnv{
+		authority: authority,
+		miner:     node.NewMiner(mkNode()),
+		issuer:    issuer,
+		mkNode:    mkNode,
+		gen:       gen,
+	}
+}
+
+func (e *archiveEnv) buildChain(t *testing.T, blocks int) {
+	t.Helper()
+	for i := 0; i < blocks; i++ {
+		txs, err := e.gen.Block(8)
+		if err != nil {
+			t.Fatalf("gen.Block: %v", err)
+		}
+		blk, err := e.miner.Propose(txs)
+		if err != nil {
+			t.Fatalf("Propose: %v", err)
+		}
+		if _, _, err := e.issuer.ProcessBlock(blk); err != nil {
+			t.Fatalf("ProcessBlock: %v", err)
+		}
+	}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	e := newArchiveEnv(t)
+	e.buildChain(t, 6)
+	path := filepath.Join(t.TempDir(), "chain.archive")
+
+	if err := WriteChain(path, e.issuer.Node(), e.issuer.CertFor); err != nil {
+		t.Fatalf("WriteChain: %v", err)
+	}
+	c, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(c.Blocks) != 7 { // genesis + 6
+		t.Fatalf("loaded %d blocks", len(c.Blocks))
+	}
+	if len(c.Certs) != 6 {
+		t.Fatalf("loaded %d certs", len(c.Certs))
+	}
+
+	// Restore into a fresh full node: full re-validation.
+	fresh := e.mkNode()
+	applied, err := Replay(fresh, c)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if applied != 6 {
+		t.Fatalf("applied %d blocks", applied)
+	}
+	if fresh.Tip().Hash() != e.issuer.Node().Tip().Hash() {
+		t.Fatal("restored tip differs from original")
+	}
+	fr, err := fresh.State().Root()
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	or, err := e.issuer.Node().State().Root()
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	if fr != or {
+		t.Fatal("restored state differs from original")
+	}
+	// The archived certificates still verify against the restored chain.
+	tip := fresh.Tip()
+	cert, ok := c.Certs[tip.Hash()]
+	if !ok {
+		t.Fatal("tip certificate missing from archive")
+	}
+	if err := cert.Verify(e.authority.PublicKey(), e.issuer.Measurement(), core.BlockDigest(&tip.Header)); err != nil {
+		t.Fatalf("archived certificate must verify: %v", err)
+	}
+}
+
+func TestReplayRejectsTamperedBlocks(t *testing.T) {
+	e := newArchiveEnv(t)
+	e.buildChain(t, 4)
+	path := filepath.Join(t.TempDir(), "chain.archive")
+	if err := WriteChain(path, e.issuer.Node(), nil); err != nil {
+		t.Fatalf("WriteChain: %v", err)
+	}
+	c, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// Tamper with a mid-chain block's state root: full-node replay rejects.
+	c.Blocks[2].Header.StateRoot = chash.Leaf([]byte("forged"))
+	fresh := e.mkNode()
+	if _, err := Replay(fresh, c); err == nil {
+		t.Fatal("tampered archive must not replay")
+	}
+}
+
+func TestReplayRejectsWrongGenesis(t *testing.T) {
+	e := newArchiveEnv(t)
+	e.buildChain(t, 2)
+	path := filepath.Join(t.TempDir(), "chain.archive")
+	if err := WriteChain(path, e.issuer.Node(), nil); err != nil {
+		t.Fatalf("WriteChain: %v", err)
+	}
+	c, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	c.Blocks[0].Header.Time = 999 // different genesis
+	fresh := e.mkNode()
+	if _, err := Replay(fresh, c); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestLoadRejectsTruncatedArchive(t *testing.T) {
+	e := newArchiveEnv(t)
+	e.buildChain(t, 3)
+	path := filepath.Join(t.TempDir(), "chain.archive")
+	if err := WriteChain(path, e.issuer.Node(), e.issuer.CertFor); err != nil {
+		t.Fatalf("WriteChain: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-10], 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage")
+	if err := os.WriteFile(path, []byte{9, 0, 0, 0, 2, 1, 2}, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestLoadEmptyArchive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	a, err := Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	c, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(c.Blocks) != 0 || len(c.Certs) != 0 {
+		t.Fatal("empty archive must load empty")
+	}
+}
+
+// TestArchivedCertificateStillValidates loads an archive and has a fresh
+// superlight client validate the tip certificate — a client bootstrapping
+// from cold storage rather than the network.
+func TestArchivedCertificateStillValidates(t *testing.T) {
+	params := consensus.Params{Difficulty: 2}
+	e := newArchiveEnv(t)
+	e.buildChain(t, 5)
+	path := filepath.Join(t.TempDir(), "chain.archive")
+	if err := WriteChain(path, e.issuer.Node(), e.issuer.CertFor); err != nil {
+		t.Fatalf("WriteChain: %v", err)
+	}
+	c, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	tip := c.Blocks[len(c.Blocks)-1]
+	cert := c.Certs[tip.Hash()]
+	if cert == nil {
+		t.Fatal("tip cert missing")
+	}
+	// The client needs only its pinned trust anchors, the tip header, and
+	// the archived certificate.
+	client := core.NewSuperlightClient(e.authority.PublicKey(), e.issuer.Measurement(), params)
+	if err := client.ValidateChain(&tip.Header, cert); err != nil {
+		t.Fatalf("ValidateChain from archive: %v", err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package vm is the deterministic smart-contract runtime of the substrate
+// blockchain. Contracts are host-language implementations of a narrow State
+// interface (read/write of byte keys), so that executing a block yields
+// exactly the read and write sets the DCert certificate construction needs
+// (Alg. 1 line 2), and so the same execution replays identically inside the
+// enclave (Alg. 2 lines 18-21).
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"dcert/internal/chain"
+)
+
+// Package errors.
+var (
+	// ErrUnknownContract is returned for calls to unregistered contracts.
+	ErrUnknownContract = errors.New("vm: unknown contract")
+	// ErrUnknownMethod is returned for calls to undefined methods.
+	ErrUnknownMethod = errors.New("vm: unknown method")
+	// ErrBadArgs is returned for malformed call arguments.
+	ErrBadArgs = errors.New("vm: bad arguments")
+	// ErrRevert is returned when a contract aborts; its writes are dropped.
+	ErrRevert = errors.New("vm: execution reverted")
+	// ErrGas is returned when a call exceeds its step budget.
+	ErrGas = errors.New("vm: out of gas")
+)
+
+// State is the storage interface contracts execute against. Reads of absent
+// keys return nil. Writes of empty values are rejected (the state model is
+// create/update only, which keeps enclave-side stateless replay witnesses
+// minimal).
+type State interface {
+	// Read returns the value at key, or nil if absent.
+	Read(key []byte) ([]byte, error)
+	// Write stores value at key; value must be non-empty.
+	Write(key, value []byte) error
+}
+
+// Contract is a deterministic smart contract.
+type Contract interface {
+	// Execute runs the method named by tx.Method against st. Returning an
+	// error reverts the transaction's writes.
+	Execute(st State, tx *chain.Transaction) error
+}
+
+// Registry maps contract names to implementations. Registration happens at
+// node start-up; execution is read-only on the registry, so a populated
+// Registry is safe for concurrent use.
+type Registry struct {
+	contracts map[string]Contract
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{contracts: make(map[string]Contract)}
+}
+
+// Register binds a contract name. Re-registering a name is an error.
+func (r *Registry) Register(name string, c Contract) error {
+	if name == "" {
+		return fmt.Errorf("vm: empty contract name")
+	}
+	if c == nil {
+		return fmt.Errorf("vm: nil contract %q", name)
+	}
+	if _, ok := r.contracts[name]; ok {
+		return fmt.Errorf("vm: contract %q already registered", name)
+	}
+	r.contracts[name] = c
+	return nil
+}
+
+// Lookup returns the contract bound to name.
+func (r *Registry) Lookup(name string) (Contract, error) {
+	c, ok := r.contracts[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownContract, name)
+	}
+	return c, nil
+}
+
+// Len returns the number of registered contracts.
+func (r *Registry) Len() int {
+	return len(r.contracts)
+}
+
+// Call dispatches a transaction to its target contract.
+func (r *Registry) Call(st State, tx *chain.Transaction) error {
+	c, err := r.Lookup(tx.Contract)
+	if err != nil {
+		return err
+	}
+	return c.Execute(st, tx)
+}
+
+// GasLimit bounds the number of state operations per transaction. It exists
+// so hostile transactions cannot stall the certificate issuer's enclave.
+const GasLimit = 1 << 20
+
+// MeteredState wraps a State with an operation budget.
+type MeteredState struct {
+	inner State
+	gas   int
+}
+
+var _ State = (*MeteredState)(nil)
+
+// NewMeteredState wraps st with the default gas budget.
+func NewMeteredState(st State) *MeteredState {
+	return &MeteredState{inner: st, gas: GasLimit}
+}
+
+// Read implements State.
+func (m *MeteredState) Read(key []byte) ([]byte, error) {
+	if m.gas--; m.gas < 0 {
+		return nil, ErrGas
+	}
+	return m.inner.Read(key)
+}
+
+// Write implements State.
+func (m *MeteredState) Write(key, value []byte) error {
+	if m.gas--; m.gas < 0 {
+		return ErrGas
+	}
+	return m.inner.Write(key, value)
+}

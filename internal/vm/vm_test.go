@@ -1,0 +1,111 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"dcert/internal/chain"
+)
+
+// mapState is a trivial State for tests.
+type mapState map[string][]byte
+
+func (m mapState) Read(key []byte) ([]byte, error) {
+	return m[string(key)], nil
+}
+
+func (m mapState) Write(key, value []byte) error {
+	m[string(key)] = value
+	return nil
+}
+
+// echoContract writes its first argument under the sender address.
+type echoContract struct{}
+
+func (echoContract) Execute(st State, tx *chain.Transaction) error {
+	if len(tx.Args) == 0 {
+		return ErrBadArgs
+	}
+	return st.Write([]byte("echo/"+tx.From.Hex()), tx.Args[0])
+}
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("echo", echoContract{}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, err := r.Lookup("echo"); err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("echo", echoContract{}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := r.Register("echo", echoContract{}); err == nil {
+		t.Fatal("want error for duplicate registration")
+	}
+}
+
+func TestRegistryRejectsEmptyNameAndNil(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("", echoContract{}); err == nil {
+		t.Fatal("want error for empty name")
+	}
+	if err := r.Register("x", nil); err == nil {
+		t.Fatal("want error for nil contract")
+	}
+}
+
+func TestCallUnknownContract(t *testing.T) {
+	r := NewRegistry()
+	tx := &chain.Transaction{Contract: "ghost"}
+	if err := r.Call(mapState{}, tx); !errors.Is(err, ErrUnknownContract) {
+		t.Fatalf("want ErrUnknownContract, got %v", err)
+	}
+}
+
+func TestCallDispatches(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("echo", echoContract{}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	st := mapState{}
+	tx := &chain.Transaction{Contract: "echo", Args: [][]byte{[]byte("hello")}}
+	if err := r.Call(st, tx); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(st["echo/"+tx.From.Hex()]) != "hello" {
+		t.Fatal("contract did not write")
+	}
+}
+
+func TestMeteredStateEnforcesBudget(t *testing.T) {
+	m := &MeteredState{inner: mapState{}, gas: 2}
+	if _, err := m.Read([]byte("a")); err != nil {
+		t.Fatalf("Read 1: %v", err)
+	}
+	if err := m.Write([]byte("b"), []byte("v")); err != nil {
+		t.Fatalf("Write 1: %v", err)
+	}
+	if _, err := m.Read([]byte("c")); !errors.Is(err, ErrGas) {
+		t.Fatalf("want ErrGas, got %v", err)
+	}
+	if err := m.Write([]byte("d"), []byte("v")); !errors.Is(err, ErrGas) {
+		t.Fatalf("want ErrGas on write, got %v", err)
+	}
+}
+
+func TestNewMeteredStateDefaultBudget(t *testing.T) {
+	m := NewMeteredState(mapState{})
+	for i := 0; i < 100; i++ {
+		if _, err := m.Read([]byte("k")); err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,401 @@
+// Package workload implements the Blockbench benchmark suite (Dinh et al.,
+// SIGMOD'17) used throughout the DCert paper's evaluation: the
+// micro-benchmarks DoNothing (DN), CPUHeavy (CPU), and IOHeavy (IO), and the
+// macro-benchmarks KVStore (KV) and SmallBank (SB). It also provides
+// deterministic transaction generators matching the paper's setup (500
+// deployed contracts, randomly generated sender accounts).
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"dcert/internal/chain"
+	"dcert/internal/vm"
+)
+
+// Kind identifies a Blockbench workload.
+type Kind int
+
+// Workload kinds, in the order the paper's figures list them.
+const (
+	DoNothing Kind = iota + 1
+	CPUHeavy
+	IOHeavy
+	KVStore
+	SmallBank
+)
+
+// AllKinds lists every workload in presentation order.
+func AllKinds() []Kind {
+	return []Kind{DoNothing, CPUHeavy, IOHeavy, KVStore, SmallBank}
+}
+
+// String returns the paper's abbreviation for the workload.
+func (k Kind) String() string {
+	switch k {
+	case DoNothing:
+		return "DN"
+	case CPUHeavy:
+		return "CPU"
+	case IOHeavy:
+		return "IO"
+	case KVStore:
+		return "KV"
+	case SmallBank:
+		return "SB"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Contract returns a fresh contract implementation for the workload.
+func (k Kind) Contract() (vm.Contract, error) {
+	switch k {
+	case DoNothing:
+		return doNothingContract{}, nil
+	case CPUHeavy:
+		return cpuHeavyContract{}, nil
+	case IOHeavy:
+		return ioHeavyContract{}, nil
+	case KVStore:
+		return kvStoreContract{}, nil
+	case SmallBank:
+		return smallBankContract{}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown kind %d", int(k))
+	}
+}
+
+// storageKey namespaces a contract instance's storage.
+func storageKey(tx *chain.Transaction, parts ...string) []byte {
+	key := "ct/" + tx.Contract
+	for _, p := range parts {
+		key += "/" + p
+	}
+	return []byte(key)
+}
+
+// u64 encodes an integer state value.
+func u64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// parseU64 decodes an integer state value; absent (nil) reads as zero.
+func parseU64(b []byte) (uint64, error) {
+	if b == nil {
+		return 0, nil
+	}
+	if len(b) != 8 {
+		return 0, fmt.Errorf("%w: want 8-byte integer, got %d bytes", vm.ErrBadArgs, len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// doNothingContract is Blockbench DN: the transaction carries payload but
+// touches no state, isolating consensus/bookkeeping overhead.
+type doNothingContract struct{}
+
+var _ vm.Contract = doNothingContract{}
+
+// Execute implements vm.Contract.
+func (doNothingContract) Execute(_ vm.State, tx *chain.Transaction) error {
+	if tx.Method != "noop" {
+		return fmt.Errorf("%w: %q", vm.ErrUnknownMethod, tx.Method)
+	}
+	return nil
+}
+
+// cpuHeavyContract is Blockbench CPU: sorts a pseudo-random array derived
+// from the seed argument, exercising pure computation.
+//
+// Method "sort": args = [seed (8 bytes), size (8 bytes)].
+type cpuHeavyContract struct{}
+
+var _ vm.Contract = cpuHeavyContract{}
+
+// maxSortSize bounds the per-transaction sort to keep gas semantics sane.
+const maxSortSize = 1 << 16
+
+// Execute implements vm.Contract.
+func (cpuHeavyContract) Execute(st vm.State, tx *chain.Transaction) error {
+	if tx.Method != "sort" {
+		return fmt.Errorf("%w: %q", vm.ErrUnknownMethod, tx.Method)
+	}
+	if len(tx.Args) != 2 || len(tx.Args[0]) != 8 || len(tx.Args[1]) != 8 {
+		return fmt.Errorf("%w: sort(seed, size)", vm.ErrBadArgs)
+	}
+	seed := binary.BigEndian.Uint64(tx.Args[0])
+	size := binary.BigEndian.Uint64(tx.Args[1])
+	if size == 0 || size > maxSortSize {
+		return fmt.Errorf("%w: size %d out of range", vm.ErrBadArgs, size)
+	}
+	// Deterministic xorshift fill, then sort.
+	arr := make([]uint64, size)
+	x := seed | 1
+	for i := range arr {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		arr[i] = x
+	}
+	sort.Slice(arr, func(i, j int) bool { return arr[i] < arr[j] })
+	// Record a digest of the result so the computation is observable state.
+	return st.Write(storageKey(tx, "sorted", fmt.Sprintf("%d", seed)), u64(arr[0]^arr[size-1]))
+}
+
+// ioHeavyContract is Blockbench IO: bulk writes and scans over a key range,
+// exercising the state tree.
+//
+// Methods:
+//
+//	"write": args = [start (8 bytes), count (8 bytes), blob]
+//	"scan":  args = [start (8 bytes), count (8 bytes)]
+type ioHeavyContract struct{}
+
+var _ vm.Contract = ioHeavyContract{}
+
+// maxIOCount bounds per-transaction key touches.
+const maxIOCount = 1 << 12
+
+// Execute implements vm.Contract.
+func (ioHeavyContract) Execute(st vm.State, tx *chain.Transaction) error {
+	switch tx.Method {
+	case "write":
+		if len(tx.Args) != 3 || len(tx.Args[0]) != 8 || len(tx.Args[1]) != 8 {
+			return fmt.Errorf("%w: write(start, count, blob)", vm.ErrBadArgs)
+		}
+		start := binary.BigEndian.Uint64(tx.Args[0])
+		count := binary.BigEndian.Uint64(tx.Args[1])
+		if count == 0 || count > maxIOCount {
+			return fmt.Errorf("%w: count %d out of range", vm.ErrBadArgs, count)
+		}
+		blob := tx.Args[2]
+		if len(blob) == 0 {
+			blob = []byte{0}
+		}
+		for i := uint64(0); i < count; i++ {
+			if err := st.Write(storageKey(tx, "row", fmt.Sprintf("%d", start+i)), blob); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "scan":
+		if len(tx.Args) != 2 || len(tx.Args[0]) != 8 || len(tx.Args[1]) != 8 {
+			return fmt.Errorf("%w: scan(start, count)", vm.ErrBadArgs)
+		}
+		start := binary.BigEndian.Uint64(tx.Args[0])
+		count := binary.BigEndian.Uint64(tx.Args[1])
+		if count == 0 || count > maxIOCount {
+			return fmt.Errorf("%w: count %d out of range", vm.ErrBadArgs, count)
+		}
+		var checksum uint64
+		for i := uint64(0); i < count; i++ {
+			v, err := st.Read(storageKey(tx, "row", fmt.Sprintf("%d", start+i)))
+			if err != nil {
+				return err
+			}
+			for _, b := range v {
+				checksum = checksum*131 + uint64(b)
+			}
+		}
+		return st.Write(storageKey(tx, "scansum", tx.From.Hex()), u64(checksum))
+	default:
+		return fmt.Errorf("%w: %q", vm.ErrUnknownMethod, tx.Method)
+	}
+}
+
+// kvStoreContract is Blockbench KV: a plain key-value store.
+//
+// Methods:
+//
+//	"set": args = [key, value]
+//	"get": args = [key]
+type kvStoreContract struct{}
+
+var _ vm.Contract = kvStoreContract{}
+
+// Execute implements vm.Contract.
+func (kvStoreContract) Execute(st vm.State, tx *chain.Transaction) error {
+	switch tx.Method {
+	case "set":
+		if len(tx.Args) != 2 || len(tx.Args[0]) == 0 || len(tx.Args[1]) == 0 {
+			return fmt.Errorf("%w: set(key, value)", vm.ErrBadArgs)
+		}
+		return st.Write(storageKey(tx, "kv", string(tx.Args[0])), tx.Args[1])
+	case "get":
+		if len(tx.Args) != 1 || len(tx.Args[0]) == 0 {
+			return fmt.Errorf("%w: get(key)", vm.ErrBadArgs)
+		}
+		_, err := st.Read(storageKey(tx, "kv", string(tx.Args[0])))
+		return err
+	default:
+		return fmt.Errorf("%w: %q", vm.ErrUnknownMethod, tx.Method)
+	}
+}
+
+// smallBankContract is Blockbench SB: the SmallBank OLTP schema with
+// checking and savings balances per customer.
+//
+// Methods (amounts are 8-byte big-endian):
+//
+//	"send_payment":   args = [from, to, amount]         checking → checking
+//	"write_check":    args = [acct, amount]             checking -= amount
+//	"deposit_check":  args = [acct, amount]             checking += amount
+//	"update_saving":  args = [acct, amount]             savings += amount
+//	"amalgamate":     args = [src, dst]                 all funds → dst checking
+//	"get_balance":    args = [acct]                     read both balances
+type smallBankContract struct{}
+
+var _ vm.Contract = smallBankContract{}
+
+func (smallBankContract) checking(tx *chain.Transaction, acct string) []byte {
+	return storageKey(tx, "checking", acct)
+}
+
+func (smallBankContract) savings(tx *chain.Transaction, acct string) []byte {
+	return storageKey(tx, "savings", acct)
+}
+
+func readU64(st vm.State, key []byte) (uint64, error) {
+	raw, err := st.Read(key)
+	if err != nil {
+		return 0, err
+	}
+	return parseU64(raw)
+}
+
+// Execute implements vm.Contract.
+func (c smallBankContract) Execute(st vm.State, tx *chain.Transaction) error {
+	argU64 := func(i int) (uint64, error) {
+		if i >= len(tx.Args) || len(tx.Args[i]) != 8 {
+			return 0, fmt.Errorf("%w: arg %d must be 8 bytes", vm.ErrBadArgs, i)
+		}
+		return binary.BigEndian.Uint64(tx.Args[i]), nil
+	}
+	argStr := func(i int) (string, error) {
+		if i >= len(tx.Args) || len(tx.Args[i]) == 0 {
+			return "", fmt.Errorf("%w: arg %d must be an account id", vm.ErrBadArgs, i)
+		}
+		return string(tx.Args[i]), nil
+	}
+
+	switch tx.Method {
+	case "send_payment":
+		from, err := argStr(0)
+		if err != nil {
+			return err
+		}
+		to, err := argStr(1)
+		if err != nil {
+			return err
+		}
+		amount, err := argU64(2)
+		if err != nil {
+			return err
+		}
+		fromBal, err := readU64(st, c.checking(tx, from))
+		if err != nil {
+			return err
+		}
+		if fromBal < amount {
+			return fmt.Errorf("%w: insufficient funds", vm.ErrRevert)
+		}
+		toBal, err := readU64(st, c.checking(tx, to))
+		if err != nil {
+			return err
+		}
+		if err := st.Write(c.checking(tx, from), u64(fromBal-amount)); err != nil {
+			return err
+		}
+		return st.Write(c.checking(tx, to), u64(toBal+amount))
+	case "write_check":
+		acct, err := argStr(0)
+		if err != nil {
+			return err
+		}
+		amount, err := argU64(1)
+		if err != nil {
+			return err
+		}
+		bal, err := readU64(st, c.checking(tx, acct))
+		if err != nil {
+			return err
+		}
+		if bal < amount {
+			return fmt.Errorf("%w: insufficient funds", vm.ErrRevert)
+		}
+		return st.Write(c.checking(tx, acct), u64(bal-amount))
+	case "deposit_check":
+		acct, err := argStr(0)
+		if err != nil {
+			return err
+		}
+		amount, err := argU64(1)
+		if err != nil {
+			return err
+		}
+		bal, err := readU64(st, c.checking(tx, acct))
+		if err != nil {
+			return err
+		}
+		return st.Write(c.checking(tx, acct), u64(bal+amount))
+	case "update_saving":
+		acct, err := argStr(0)
+		if err != nil {
+			return err
+		}
+		amount, err := argU64(1)
+		if err != nil {
+			return err
+		}
+		bal, err := readU64(st, c.savings(tx, acct))
+		if err != nil {
+			return err
+		}
+		return st.Write(c.savings(tx, acct), u64(bal+amount))
+	case "amalgamate":
+		src, err := argStr(0)
+		if err != nil {
+			return err
+		}
+		dst, err := argStr(1)
+		if err != nil {
+			return err
+		}
+		srcSav, err := readU64(st, c.savings(tx, src))
+		if err != nil {
+			return err
+		}
+		srcChk, err := readU64(st, c.checking(tx, src))
+		if err != nil {
+			return err
+		}
+		dstChk, err := readU64(st, c.checking(tx, dst))
+		if err != nil {
+			return err
+		}
+		if err := st.Write(c.savings(tx, src), u64(0)); err != nil {
+			return err
+		}
+		if err := st.Write(c.checking(tx, src), u64(0)); err != nil {
+			return err
+		}
+		return st.Write(c.checking(tx, dst), u64(dstChk+srcSav+srcChk))
+	case "get_balance":
+		acct, err := argStr(0)
+		if err != nil {
+			return err
+		}
+		if _, err := readU64(st, c.checking(tx, acct)); err != nil {
+			return err
+		}
+		_, err = readU64(st, c.savings(tx, acct))
+		return err
+	default:
+		return fmt.Errorf("%w: %q", vm.ErrUnknownMethod, tx.Method)
+	}
+}

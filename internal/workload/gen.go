@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"math/rand"
+
+	"dcert/internal/chain"
+	"dcert/internal/chash"
+	"dcert/internal/vm"
+)
+
+// Account is a sender with a signing key.
+type Account struct {
+	// Key signs the account's transactions.
+	Key *chash.PrivateKey
+	// Addr is the account address.
+	Addr chain.Address
+	// nonce counts issued transactions.
+	nonce uint64
+}
+
+// NewAccounts generates n sender accounts with fresh signing keys,
+// mirroring the paper's "randomly generate 100k sender accounts" setup.
+func NewAccounts(n int) ([]*Account, error) {
+	out := make([]*Account, n)
+	for i := range out {
+		sk, err := chash.GenerateKey()
+		if err != nil {
+			return nil, fmt.Errorf("workload: account %d: %w", i, err)
+		}
+		pk, err := sk.Public()
+		if err != nil {
+			return nil, fmt.Errorf("workload: account %d: %w", i, err)
+		}
+		out[i] = &Account{Key: sk, Addr: chain.AddressOf(pk)}
+	}
+	return out, nil
+}
+
+// Config parameterizes a workload generator. Zero-valued fields fall back to
+// the paper's defaults (Table 1).
+type Config struct {
+	// Kind selects the Blockbench workload.
+	Kind Kind
+	// Contracts is the number of deployed contract instances (paper: 500).
+	Contracts int
+	// Seed makes the transaction stream reproducible.
+	Seed int64
+	// CPUSortSize is the per-transaction array size for CPUHeavy.
+	CPUSortSize int
+	// IOOpsPerTx is the keys touched per IOHeavy transaction.
+	IOOpsPerTx int
+	// KeySpace bounds the number of distinct user keys / accounts touched.
+	KeySpace int
+}
+
+// Defaults for Config fields.
+const (
+	DefaultContracts   = 500
+	DefaultCPUSortSize = 1024
+	DefaultIOOpsPerTx  = 16
+	DefaultKeySpace    = 100000
+)
+
+func (c Config) withDefaults() Config {
+	if c.Contracts == 0 {
+		c.Contracts = DefaultContracts
+	}
+	if c.CPUSortSize == 0 {
+		c.CPUSortSize = DefaultCPUSortSize
+	}
+	if c.IOOpsPerTx == 0 {
+		c.IOOpsPerTx = DefaultIOOpsPerTx
+	}
+	if c.KeySpace == 0 {
+		c.KeySpace = DefaultKeySpace
+	}
+	return c
+}
+
+// Generator produces signed transaction streams for one workload.
+type Generator struct {
+	cfg      Config
+	rng      *rand.Rand
+	accounts []*Account
+	names    []string
+}
+
+// ContractName returns the instance name of contract i for a workload.
+func ContractName(k Kind, i int) string {
+	return fmt.Sprintf("%s-%04d", k, i)
+}
+
+// NewGenerator creates a generator over the given sender accounts.
+func NewGenerator(cfg Config, accounts []*Account) (*Generator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Kind < DoNothing || cfg.Kind > SmallBank {
+		return nil, fmt.Errorf("workload: unknown kind %d", int(cfg.Kind))
+	}
+	if len(accounts) == 0 {
+		return nil, fmt.Errorf("workload: no sender accounts")
+	}
+	names := make([]string, cfg.Contracts)
+	for i := range names {
+		names[i] = ContractName(cfg.Kind, i)
+	}
+	return &Generator{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		accounts: accounts,
+		names:    names,
+	}, nil
+}
+
+// Register deploys the workload's contract instances into a registry
+// (the paper's "initially deploy 500 smart contracts").
+func Register(reg *vm.Registry, k Kind, contracts int) error {
+	if contracts == 0 {
+		contracts = DefaultContracts
+	}
+	for i := 0; i < contracts; i++ {
+		c, err := k.Contract()
+		if err != nil {
+			return err
+		}
+		if err := reg.Register(ContractName(k, i), c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterAll deploys every workload's contract instances.
+func RegisterAll(reg *vm.Registry, contracts int) error {
+	for _, k := range AllKinds() {
+		if err := Register(reg, k, contracts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *Generator) arg8(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// NextTx produces one signed transaction.
+func (g *Generator) NextTx() (*chain.Transaction, error) {
+	sender := g.accounts[g.rng.Intn(len(g.accounts))]
+	tx := &chain.Transaction{
+		Nonce:    sender.nonce,
+		Contract: g.names[g.rng.Intn(len(g.names))],
+	}
+	sender.nonce++
+
+	switch g.cfg.Kind {
+	case DoNothing:
+		tx.Method = "noop"
+	case CPUHeavy:
+		tx.Method = "sort"
+		tx.Args = [][]byte{g.arg8(g.rng.Uint64()), g.arg8(uint64(g.cfg.CPUSortSize))}
+	case IOHeavy:
+		start := uint64(g.rng.Intn(g.cfg.KeySpace))
+		if g.rng.Intn(2) == 0 {
+			tx.Method = "write"
+			tx.Args = [][]byte{g.arg8(start), g.arg8(uint64(g.cfg.IOOpsPerTx)), []byte("io-heavy-row-payload")}
+		} else {
+			tx.Method = "scan"
+			tx.Args = [][]byte{g.arg8(start), g.arg8(uint64(g.cfg.IOOpsPerTx))}
+		}
+	case KVStore:
+		key := fmt.Sprintf("user-key-%d", g.rng.Intn(g.cfg.KeySpace))
+		if g.rng.Intn(10) < 8 { // Blockbench KVStore is write-heavy
+			tx.Method = "set"
+			tx.Args = [][]byte{[]byte(key), []byte(fmt.Sprintf("value-%d", g.rng.Uint64()))}
+		} else {
+			tx.Method = "get"
+			tx.Args = [][]byte{[]byte(key)}
+		}
+	case SmallBank:
+		a := fmt.Sprintf("cust-%d", g.rng.Intn(g.cfg.KeySpace))
+		b := fmt.Sprintf("cust-%d", g.rng.Intn(g.cfg.KeySpace))
+		amount := g.arg8(uint64(1 + g.rng.Intn(100)))
+		switch g.rng.Intn(6) {
+		case 0:
+			tx.Method = "send_payment"
+			tx.Args = [][]byte{[]byte(a), []byte(b), amount}
+		case 1:
+			tx.Method = "write_check"
+			tx.Args = [][]byte{[]byte(a), amount}
+		case 2:
+			tx.Method = "deposit_check"
+			tx.Args = [][]byte{[]byte(a), amount}
+		case 3:
+			tx.Method = "update_saving"
+			tx.Args = [][]byte{[]byte(a), amount}
+		case 4:
+			tx.Method = "amalgamate"
+			tx.Args = [][]byte{[]byte(a), []byte(b)}
+		default:
+			tx.Method = "get_balance"
+			tx.Args = [][]byte{[]byte(a)}
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown kind %d", int(g.cfg.Kind))
+	}
+
+	if err := tx.Sign(sender.Key); err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+// Block produces n signed transactions (one block's worth).
+func (g *Generator) Block(n int) ([]*chain.Transaction, error) {
+	out := make([]*chain.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		tx, err := g.NextTx()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tx)
+	}
+	return out, nil
+}

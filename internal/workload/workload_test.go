@@ -1,0 +1,279 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"dcert/internal/chain"
+	"dcert/internal/vm"
+)
+
+// mapState is a trivial vm.State.
+type mapState map[string][]byte
+
+func (m mapState) Read(key []byte) ([]byte, error) { return m[string(key)], nil }
+func (m mapState) Write(key, value []byte) error {
+	if len(value) == 0 {
+		return errors.New("empty value")
+	}
+	m[string(key)] = value
+	return nil
+}
+
+func arg8(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func tx(contract, method string, args ...[]byte) *chain.Transaction {
+	return &chain.Transaction{Contract: contract, Method: method, Args: args}
+}
+
+func mustContract(t *testing.T, k Kind) vm.Contract {
+	t.Helper()
+	c, err := k.Contract()
+	if err != nil {
+		t.Fatalf("Contract(%v): %v", k, err)
+	}
+	return c
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{DoNothing: "DN", CPUHeavy: "CPU", IOHeavy: "IO", KVStore: "KV", SmallBank: "SB"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%v.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if len(AllKinds()) != 5 {
+		t.Fatal("AllKinds must list all five workloads")
+	}
+}
+
+func TestDoNothing(t *testing.T) {
+	c := mustContract(t, DoNothing)
+	st := mapState{}
+	if err := c.Execute(st, tx("DN-0000", "noop")); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(st) != 0 {
+		t.Fatal("DoNothing must not write state")
+	}
+	if err := c.Execute(st, tx("DN-0000", "other")); !errors.Is(err, vm.ErrUnknownMethod) {
+		t.Fatalf("want ErrUnknownMethod, got %v", err)
+	}
+}
+
+func TestCPUHeavy(t *testing.T) {
+	c := mustContract(t, CPUHeavy)
+	st := mapState{}
+	if err := c.Execute(st, tx("CPU-0000", "sort", arg8(42), arg8(128))); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(st) != 1 {
+		t.Fatal("CPUHeavy must record a result digest")
+	}
+	// Deterministic across executions.
+	st2 := mapState{}
+	if err := c.Execute(st2, tx("CPU-0000", "sort", arg8(42), arg8(128))); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	for k, v := range st {
+		if !bytes.Equal(st2[k], v) {
+			t.Fatal("CPUHeavy must be deterministic")
+		}
+	}
+	if err := c.Execute(st, tx("CPU-0000", "sort", arg8(1), arg8(0))); !errors.Is(err, vm.ErrBadArgs) {
+		t.Fatalf("want ErrBadArgs for size 0, got %v", err)
+	}
+	if err := c.Execute(st, tx("CPU-0000", "sort")); !errors.Is(err, vm.ErrBadArgs) {
+		t.Fatalf("want ErrBadArgs for missing args, got %v", err)
+	}
+}
+
+func TestIOHeavy(t *testing.T) {
+	c := mustContract(t, IOHeavy)
+	st := mapState{}
+	if err := c.Execute(st, tx("IO-0000", "write", arg8(100), arg8(8), []byte("blob"))); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if len(st) != 8 {
+		t.Fatalf("write created %d keys, want 8", len(st))
+	}
+	scan := tx("IO-0000", "scan", arg8(100), arg8(8))
+	if err := c.Execute(st, scan); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if _, ok := st["ct/IO-0000/scansum/"+scan.From.Hex()]; !ok {
+		t.Fatal("scan must record a checksum")
+	}
+	if err := c.Execute(st, tx("IO-0000", "write", arg8(0), arg8(1<<20), nil)); !errors.Is(err, vm.ErrBadArgs) {
+		t.Fatalf("want ErrBadArgs for huge count, got %v", err)
+	}
+}
+
+func TestKVStore(t *testing.T) {
+	c := mustContract(t, KVStore)
+	st := mapState{}
+	if err := c.Execute(st, tx("KV-0000", "set", []byte("k"), []byte("v"))); err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	if !bytes.Equal(st["ct/KV-0000/kv/k"], []byte("v")) {
+		t.Fatal("set did not store the value")
+	}
+	if err := c.Execute(st, tx("KV-0000", "get", []byte("k"))); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if err := c.Execute(st, tx("KV-0000", "set", []byte("k"))); !errors.Is(err, vm.ErrBadArgs) {
+		t.Fatalf("want ErrBadArgs, got %v", err)
+	}
+}
+
+func TestSmallBankLifecycle(t *testing.T) {
+	c := mustContract(t, SmallBank)
+	st := mapState{}
+	name := "SB-0000"
+	steps := []struct {
+		method string
+		args   [][]byte
+	}{
+		{"deposit_check", [][]byte{[]byte("a"), arg8(100)}},
+		{"update_saving", [][]byte{[]byte("a"), arg8(50)}},
+		{"deposit_check", [][]byte{[]byte("b"), arg8(10)}},
+		{"send_payment", [][]byte{[]byte("a"), []byte("b"), arg8(40)}},
+		{"write_check", [][]byte{[]byte("b"), arg8(25)}},
+		{"get_balance", [][]byte{[]byte("a")}},
+	}
+	for i, s := range steps {
+		if err := c.Execute(st, tx(name, s.method, s.args...)); err != nil {
+			t.Fatalf("step %d (%s): %v", i, s.method, err)
+		}
+	}
+	chkA := binary.BigEndian.Uint64(st["ct/SB-0000/checking/a"])
+	savA := binary.BigEndian.Uint64(st["ct/SB-0000/savings/a"])
+	chkB := binary.BigEndian.Uint64(st["ct/SB-0000/checking/b"])
+	if chkA != 60 || savA != 50 || chkB != 25 {
+		t.Fatalf("balances a.chk=%d a.sav=%d b.chk=%d, want 60/50/25", chkA, savA, chkB)
+	}
+
+	// Amalgamate moves everything to b's checking.
+	if err := c.Execute(st, tx(name, "amalgamate", []byte("a"), []byte("b"))); err != nil {
+		t.Fatalf("amalgamate: %v", err)
+	}
+	if got := binary.BigEndian.Uint64(st["ct/SB-0000/checking/b"]); got != 135 {
+		t.Fatalf("b checking after amalgamate = %d, want 135", got)
+	}
+	if got := binary.BigEndian.Uint64(st["ct/SB-0000/checking/a"]); got != 0 {
+		t.Fatalf("a checking after amalgamate = %d, want 0", got)
+	}
+}
+
+func TestSmallBankOverdraftReverts(t *testing.T) {
+	c := mustContract(t, SmallBank)
+	st := mapState{}
+	if err := c.Execute(st, tx("SB-0000", "write_check", []byte("empty"), arg8(5))); !errors.Is(err, vm.ErrRevert) {
+		t.Fatalf("want ErrRevert, got %v", err)
+	}
+	if err := c.Execute(st, tx("SB-0000", "send_payment", []byte("x"), []byte("y"), arg8(5))); !errors.Is(err, vm.ErrRevert) {
+		t.Fatalf("want ErrRevert, got %v", err)
+	}
+}
+
+func TestGeneratorProducesValidSignedTxs(t *testing.T) {
+	accounts, err := NewAccounts(4)
+	if err != nil {
+		t.Fatalf("NewAccounts: %v", err)
+	}
+	for _, kind := range AllKinds() {
+		gen, err := NewGenerator(Config{Kind: kind, Contracts: 3, Seed: 7, KeySpace: 10, CPUSortSize: 16, IOOpsPerTx: 2}, accounts)
+		if err != nil {
+			t.Fatalf("NewGenerator(%v): %v", kind, err)
+		}
+		txs, err := gen.Block(20)
+		if err != nil {
+			t.Fatalf("Block(%v): %v", kind, err)
+		}
+		if len(txs) != 20 {
+			t.Fatalf("Block returned %d txs", len(txs))
+		}
+		for i, txn := range txs {
+			if err := txn.Verify(); err != nil {
+				t.Fatalf("%v tx %d: %v", kind, i, err)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterministicStream(t *testing.T) {
+	accounts, err := NewAccounts(2)
+	if err != nil {
+		t.Fatalf("NewAccounts: %v", err)
+	}
+	mk := func() []string {
+		gen, err := NewGenerator(Config{Kind: KVStore, Contracts: 2, Seed: 9, KeySpace: 5}, accounts)
+		if err != nil {
+			t.Fatalf("NewGenerator: %v", err)
+		}
+		txs, err := gen.Block(10)
+		if err != nil {
+			t.Fatalf("Block: %v", err)
+		}
+		var out []string
+		for _, txn := range txs {
+			out = append(out, txn.Contract+"/"+txn.Method)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream diverges at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorRejectsBadConfig(t *testing.T) {
+	accounts, err := NewAccounts(1)
+	if err != nil {
+		t.Fatalf("NewAccounts: %v", err)
+	}
+	if _, err := NewGenerator(Config{Kind: Kind(99)}, accounts); err == nil {
+		t.Fatal("want error for unknown kind")
+	}
+	if _, err := NewGenerator(Config{Kind: KVStore}, nil); err == nil {
+		t.Fatal("want error for no accounts")
+	}
+}
+
+func TestRegisterAll(t *testing.T) {
+	reg := vm.NewRegistry()
+	if err := RegisterAll(reg, 3); err != nil {
+		t.Fatalf("RegisterAll: %v", err)
+	}
+	if reg.Len() != 15 {
+		t.Fatalf("Len = %d, want 15", reg.Len())
+	}
+	if _, err := reg.Lookup(ContractName(SmallBank, 2)); err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+}
+
+func TestNewAccountsDistinct(t *testing.T) {
+	accounts, err := NewAccounts(10)
+	if err != nil {
+		t.Fatalf("NewAccounts: %v", err)
+	}
+	seen := make(map[chain.Address]bool)
+	for _, a := range accounts {
+		if seen[a.Addr] {
+			t.Fatal("duplicate account address")
+		}
+		seen[a.Addr] = true
+		if a.Key == nil {
+			t.Fatal("account missing key")
+		}
+	}
+}
