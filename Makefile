@@ -1,0 +1,39 @@
+# DCert reproduction — build and test tiers.
+#
+# tier1: the fast correctness gate (build + unit/integration tests).
+# tier2: the robustness gate — formatting, vet, and the full suite under the
+#        race detector, which is what arms the chaos tests (chaos_test.go
+#        drives a multi-CI deployment through seeded fault plans and is only
+#        considered "passed" when it survives -race).
+
+GO ?= go
+
+.PHONY: all tier1 tier2 chaos fmt vet bench clean
+
+all: tier1
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+tier2: fmt vet
+	$(GO) test -race ./...
+
+# The chaos suite alone (subset of tier2), for iterating on fault plans.
+chaos:
+	$(GO) test -race -run 'TestChaos' -v .
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

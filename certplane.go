@@ -1,0 +1,260 @@
+package dcert
+
+import (
+	"fmt"
+	"sync"
+
+	"dcert/internal/core"
+	"dcert/internal/node"
+)
+
+// The certification plane: redundant certificate issuers over one chain.
+// The paper notes the CI is "any SGX full node" and that redundancy restores
+// availability (§4.3) — a deployment can run N CIs, each certifying every
+// block with its own enclave, and a superlight client accepts a certificate
+// from any properly attested enclave, tracking the highest certified height.
+// Issuers can be killed (crash: the enclave and its sealed key are lost) and
+// restarted (resume from the last persisted certificate, re-certify only the
+// blocks missed while down).
+
+// Cert-plane types (package internal/core).
+type (
+	// CertBundle pairs a header with its certificate for the fabric.
+	CertBundle = core.CertBundle
+	// CertRequest is a client's explicit catch-up request.
+	CertRequest = core.CertRequest
+	// CertFollower drives a SuperlightClient from the certificate stream,
+	// re-requesting the latest certificate when the stream stalls.
+	CertFollower = core.Follower
+	// FollowerConfig tunes a CertFollower.
+	FollowerConfig = core.FollowerConfig
+	// FollowerStats counts a follower's activity.
+	FollowerStats = core.FollowerStats
+	// CertResponder answers catch-up requests for one issuer.
+	CertResponder = core.CertResponder
+	// IssuerCheckpoint is a CI's crash-recovery record.
+	IssuerCheckpoint = core.IssuerCheckpoint
+)
+
+// FollowCerts starts a certificate follower for a client on the
+// deployment's fabric.
+func (d *Deployment) FollowCerts(client *SuperlightClient, cfg FollowerConfig) *CertFollower {
+	return core.FollowCerts(client, d.net, cfg)
+}
+
+// ciSlot is one issuer of the certification plane.
+type ciSlot struct {
+	name      string
+	issuer    *core.Issuer // nil while crashed
+	node      *node.FullNode
+	responder *core.CertResponder
+	// checkpoint holds the serialized recovery record persisted before the
+	// crash (in a real deployment the CI writes it after every certificate).
+	checkpoint []byte
+	alive      bool
+}
+
+// CertPlane runs N redundant certificate issuers over the deployment's
+// chain and publishes one certificate bundle per live issuer per block.
+type CertPlane struct {
+	d  *Deployment
+	mu sync.Mutex
+	// slots are the plane's issuers, slot 0 being the deployment's primary.
+	slots []*ciSlot
+}
+
+// StartCertPlane builds a certification plane of n issuers (n ≥ 1). The
+// deployment's primary issuer becomes slot "ci0"; n-1 additional issuers
+// ("ci1", ...) are provisioned on the same chain and authority. Every live
+// issuer serves catch-up requests on TopicCertRequests. Stop the plane to
+// release the responders.
+func (d *Deployment) StartCertPlane(n int) (*CertPlane, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dcert: cert plane needs at least 1 issuer, got %d", n)
+	}
+	p := &CertPlane{d: d}
+	for i := 0; i < n; i++ {
+		ci := d.issuer
+		if i > 0 {
+			extra, err := d.AddIssuer()
+			if err != nil {
+				p.Stop()
+				return nil, err
+			}
+			ci = extra
+		}
+		name := fmt.Sprintf("ci%d", i)
+		p.slots = append(p.slots, &ciSlot{
+			name:      name,
+			issuer:    ci,
+			node:      ci.Node(),
+			responder: core.ServeCertRequests(ci, d.net, name),
+			alive:     true,
+		})
+	}
+	return p, nil
+}
+
+// slot finds an issuer by name.
+func (p *CertPlane) slot(name string) (*ciSlot, error) {
+	for _, s := range p.slots {
+		if s.name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("dcert: unknown issuer %q", name)
+}
+
+// Live lists the names of issuers currently certifying.
+func (p *CertPlane) Live() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for _, s := range p.slots {
+		if s.alive {
+			out = append(out, s.name)
+		}
+	}
+	return out
+}
+
+// Issuer returns a live issuer by name.
+func (p *CertPlane) Issuer(name string) (*Issuer, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, err := p.slot(name)
+	if err != nil {
+		return nil, err
+	}
+	if !s.alive {
+		return nil, fmt.Errorf("dcert: issuer %q is down", name)
+	}
+	return s.issuer, nil
+}
+
+// MineAndBroadcast mines a block of n transactions, has every live issuer
+// certify it, feeds the SP, and publishes the block plus one CertBundle per
+// live issuer on the fabric. With zero live issuers the block is still mined
+// and published — clients simply see no certificate until an issuer returns.
+func (p *CertPlane) MineAndBroadcast(n int) (*Block, error) {
+	txs, err := p.d.gen.Block(n)
+	if err != nil {
+		return nil, err
+	}
+	blk, err := p.d.miner.Propose(txs)
+	if err != nil {
+		return nil, fmt.Errorf("dcert: propose: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.slots {
+		if !s.alive {
+			continue
+		}
+		cert, _, err := s.issuer.ProcessBlock(blk)
+		if err != nil {
+			return nil, fmt.Errorf("dcert: %s certify: %w", s.name, err)
+		}
+		if err := p.d.net.Publish(TopicCerts, s.name, &CertBundle{Header: &blk.Header, Cert: cert}); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.d.sp.ProcessBlock(blk); err != nil {
+		return nil, fmt.Errorf("dcert: SP: %w", err)
+	}
+	if err := p.d.net.Publish(TopicBlocks, "miner", blk); err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+// Kill crashes an issuer: its enclave (and sealed key) is destroyed, its
+// responder stops answering, and the plane stops feeding it blocks. The
+// issuer's full-node replica and its last persisted certificate survive, as
+// they would on the untrusted host's disk.
+func (p *CertPlane) Kill(name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, err := p.slot(name)
+	if err != nil {
+		return err
+	}
+	if !s.alive {
+		return fmt.Errorf("dcert: issuer %q already down", name)
+	}
+	if ckpt := s.issuer.Checkpoint(); ckpt != nil {
+		s.checkpoint = ckpt.Marshal()
+	}
+	s.responder.Stop()
+	s.responder = nil
+	s.issuer = nil
+	s.alive = false
+	return nil
+}
+
+// Restart recovers a crashed issuer: a fresh enclave resumes from the
+// persisted checkpoint, re-certifies only the blocks mined while it was
+// down (fetching them from the miner, as a recovering full node would from
+// its peers), re-publishes its newest bundle, and resumes serving catch-up
+// requests.
+func (p *CertPlane) Restart(name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, err := p.slot(name)
+	if err != nil {
+		return err
+	}
+	if s.alive {
+		return fmt.Errorf("dcert: issuer %q is not down", name)
+	}
+	var ckpt *core.IssuerCheckpoint
+	if s.checkpoint != nil {
+		if ckpt, err = core.UnmarshalIssuerCheckpoint(s.checkpoint); err != nil {
+			return fmt.Errorf("dcert: restart %s: %w", name, err)
+		}
+	}
+	platform, err := p.d.authority.NewPlatform()
+	if err != nil {
+		return fmt.Errorf("dcert: restart %s: %w", name, err)
+	}
+	ci, err := core.ResumeIssuer(s.node, p.d.authority, platform, p.d.cfg.EnclaveCost, ckpt)
+	if err != nil {
+		return fmt.Errorf("dcert: restart %s: %w", name, err)
+	}
+	// Catch up: certify the blocks missed while down, continuing the
+	// recursion from the checkpointed certificate.
+	minerStore := p.d.miner.Store()
+	for h := s.node.Tip().Header.Height + 1; h <= minerStore.BestHeight(); h++ {
+		blk, err := minerStore.AtHeight(h)
+		if err != nil {
+			return fmt.Errorf("dcert: restart %s: fetch height %d: %w", name, h, err)
+		}
+		if _, _, err := ci.ProcessBlock(blk); err != nil {
+			return fmt.Errorf("dcert: restart %s: re-certify height %d: %w", name, h, err)
+		}
+	}
+	if bundle := ci.LatestBundle(); bundle != nil {
+		if err := p.d.net.Publish(TopicCerts, name, bundle); err != nil {
+			return err
+		}
+	}
+	s.issuer = ci
+	s.responder = core.ServeCertRequests(ci, p.d.net, name)
+	s.alive = true
+	if s.name == "ci0" {
+		p.d.issuer = ci // keep Deployment.Issuer() pointing at the live primary
+	}
+	return nil
+}
+
+// Stop shuts down the plane's responders (issuers stay usable).
+func (p *CertPlane) Stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.slots {
+		if s.responder != nil {
+			s.responder.Stop()
+			s.responder = nil
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package dcert_test
+
+import (
+	"testing"
+	"time"
+
+	"dcert"
+)
+
+// Chaos integration tests: drive a full multi-CI deployment through seeded
+// fault plans — drops, duplicates, reordering, latency jitter, topic
+// partitions, issuer crashes — and assert both safety (the client's tip was
+// accepted through full certificate validation, so it matches the miner's
+// chain exactly) and liveness (the client converges to the miner's tip).
+
+// chaosRig is a deployment with a redundant certification plane and a
+// followed superlight client.
+type chaosRig struct {
+	dep      *dcert.Deployment
+	plane    *dcert.CertPlane
+	client   *dcert.SuperlightClient
+	follower *dcert.CertFollower
+}
+
+func newChaosRig(t *testing.T, seed int64, issuers int, plan *dcert.FaultPlan) (*chaosRig, func()) {
+	t.Helper()
+	dep, err := dcert.NewDeployment(dcert.Config{
+		Workload:   dcert.KVStore,
+		Contracts:  4,
+		Accounts:   8,
+		Difficulty: 2,
+		Seed:       seed,
+		KeySpace:   30,
+	})
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+	plane, err := dep.StartCertPlane(issuers)
+	if err != nil {
+		t.Fatalf("StartCertPlane: %v", err)
+	}
+	dep.Net().SetFaults(plan)
+	client := dep.NewSuperlightClient()
+	follower := dep.FollowCerts(client, dcert.FollowerConfig{Name: "chaos-client", StallDeadline: 15 * time.Millisecond})
+	rig := &chaosRig{dep: dep, plane: plane, client: client, follower: follower}
+	cleanup := func() {
+		follower.Stop()
+		plane.Stop()
+		dep.Net().Close()
+	}
+	return rig, cleanup
+}
+
+// converge asserts liveness and safety: the follower reaches the miner's
+// tip, and the header it accepted (through full certificate validation) is
+// byte-identical to the miner's best header.
+func (r *chaosRig) converge(t *testing.T) {
+	t.Helper()
+	tip := r.dep.Miner().Tip()
+	if err := r.follower.WaitForHeight(tip.Header.Height, 20*time.Second); err != nil {
+		t.Fatalf("liveness: %v", err)
+	}
+	hdr, cert := r.client.Latest()
+	if hdr.Hash() != tip.Hash() {
+		t.Fatalf("safety: client tip %s != miner tip %s", hdr.Hash(), tip.Hash())
+	}
+	if cert == nil || cert.Digest != dcert.BlockDigest(hdr) {
+		t.Fatalf("safety: accepted certificate does not cover the adopted header")
+	}
+}
+
+// TestChaosDropsAndDuplicates runs two CIs under heavy loss and duplication
+// on every certification topic. Lost bundles are recovered through the
+// follower's stall-triggered catch-up requests.
+func TestChaosDropsAndDuplicates(t *testing.T) {
+	rig, cleanup := newChaosRig(t, 101, 2, &dcert.FaultPlan{
+		Seed: 101,
+		Rules: []dcert.FaultRule{
+			{Topic: dcert.TopicCerts, Drop: 0.4, Duplicate: 0.4},
+			{Topic: dcert.TopicCertRequests, Drop: 0.3, Duplicate: 0.3},
+			{Topic: dcert.TopicBlocks, Drop: 0.2},
+		},
+	})
+	defer cleanup()
+
+	for i := 0; i < 10; i++ {
+		if _, err := rig.plane.MineAndBroadcast(5); err != nil {
+			t.Fatalf("MineAndBroadcast(%d): %v", i, err)
+		}
+	}
+	rig.converge(t)
+}
+
+// TestChaosReorderAndJitter delays and reorders certificate delivery so
+// bundles arrive out of order and stale; the client's chain-selection rule
+// must keep only the highest certified height and still converge.
+func TestChaosReorderAndJitter(t *testing.T) {
+	rig, cleanup := newChaosRig(t, 202, 2, &dcert.FaultPlan{
+		Seed: 202,
+		Rules: []dcert.FaultRule{
+			{Topic: dcert.TopicCerts, Reorder: 0.6, ReorderDelay: 10 * time.Millisecond, Duplicate: 0.5, JitterMax: 5 * time.Millisecond},
+			{Topic: dcert.TopicCertRequests, JitterMax: 3 * time.Millisecond},
+		},
+	})
+	defer cleanup()
+
+	for i := 0; i < 10; i++ {
+		if _, err := rig.plane.MineAndBroadcast(5); err != nil {
+			t.Fatalf("MineAndBroadcast(%d): %v", i, err)
+		}
+	}
+	rig.converge(t)
+	if st := rig.follower.Stats(); st.Accepted == 0 {
+		t.Fatalf("follower accepted nothing: %+v", st)
+	}
+}
+
+// TestChaosPartitionHealAndFailover is the full outage drill: the cert
+// topic partitions while the primary CI crashes, the secondary carries the
+// plane after the heal, then the primary recovers from its checkpoint and
+// carries the plane alone after the secondary crashes. The client fails
+// over between issuers transparently (one extra attestation check per new
+// enclave) and still converges on the miner's tip.
+func TestChaosPartitionHealAndFailover(t *testing.T) {
+	rig, cleanup := newChaosRig(t, 303, 2, &dcert.FaultPlan{
+		Seed: 303,
+		Rules: []dcert.FaultRule{
+			{Topic: dcert.TopicCerts, Drop: 0.15, Duplicate: 0.2},
+		},
+	})
+	defer cleanup()
+	net := rig.dep.Net()
+
+	// Phase 1: healthy start.
+	for i := 0; i < 3; i++ {
+		if _, err := rig.plane.MineAndBroadcast(5); err != nil {
+			t.Fatalf("phase 1: %v", err)
+		}
+	}
+
+	// Phase 2: the cert topic partitions AND the primary CI crashes.
+	// Blocks mined now reach no client; the secondary keeps certifying
+	// into the void.
+	net.Partition(dcert.TopicCerts)
+	if err := rig.plane.Kill("ci0"); err != nil {
+		t.Fatalf("Kill(ci0): %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := rig.plane.MineAndBroadcast(5); err != nil {
+			t.Fatalf("phase 2: %v", err)
+		}
+	}
+	if live := rig.plane.Live(); len(live) != 1 || live[0] != "ci1" {
+		t.Fatalf("live issuers during outage = %v", live)
+	}
+
+	// Phase 3: the partition heals. The client's stall-triggered catch-up
+	// request is answered by the surviving secondary — failover without the
+	// primary.
+	net.Heal(dcert.TopicCerts)
+	if err := rig.follower.WaitForHeight(rig.dep.Miner().Tip().Header.Height, 20*time.Second); err != nil {
+		t.Fatalf("failover to ci1 after heal: %v", err)
+	}
+
+	// Phase 4: the primary restarts from its persisted checkpoint and
+	// re-certifies only the blocks it missed; then the secondary crashes and
+	// the restarted primary carries the plane alone.
+	if err := rig.plane.Restart("ci0"); err != nil {
+		t.Fatalf("Restart(ci0): %v", err)
+	}
+	if err := rig.plane.Kill("ci1"); err != nil {
+		t.Fatalf("Kill(ci1): %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := rig.plane.MineAndBroadcast(5); err != nil {
+			t.Fatalf("phase 4: %v", err)
+		}
+	}
+	ci0, err := rig.plane.Issuer("ci0")
+	if err != nil {
+		t.Fatalf("Issuer(ci0): %v", err)
+	}
+	// The restarted enclave certified only the post-checkpoint blocks: the
+	// 3 missed during the outage plus the 3 mined after restart — never the
+	// whole chain from genesis.
+	if ecalls := ci0.Enclave().Stats().Ecalls; ecalls != 6 {
+		t.Fatalf("restarted CI performed %d Ecalls, want 6 (3 catch-up + 3 new)", ecalls)
+	}
+	rig.converge(t)
+}

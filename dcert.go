@@ -170,6 +170,21 @@ const (
 	TopicCerts = network.TopicCerts
 	// TopicIndexCerts carries index certificates.
 	TopicIndexCerts = network.TopicIndexCerts
+	// TopicCertRequests carries clients' certificate catch-up requests.
+	TopicCertRequests = network.TopicCertRequests
+	// TopicQueries carries serialized query requests to the SP.
+	TopicQueries = query.TopicQueries
+	// TopicQueryResults carries the SP's serialized answers.
+	TopicQueryResults = query.TopicResults
+)
+
+// Fault injection (package internal/network): deterministic adversarial
+// delivery for chaos testing — install a plan with Deployment.Net().SetFaults.
+type (
+	// FaultPlan is a seeded set of delivery-perturbation rules.
+	FaultPlan = network.FaultPlan
+	// FaultRule perturbs messages matching a topic/publisher pattern.
+	FaultRule = network.FaultRule
 )
 
 // ConsensusParams configures the substrate's proof-of-work.
@@ -256,13 +271,27 @@ type (
 	QueryRequester = query.Requester
 )
 
+// QueryRetryPolicy bounds and paces a requester's attempts.
+type QueryRetryPolicy = query.RetryPolicy
+
+// DefaultQueryRetryPolicy is the requester's standard backoff schedule.
+func DefaultQueryRetryPolicy() QueryRetryPolicy {
+	return query.DefaultRetryPolicy()
+}
+
 // ServeQueries starts answering query requests on the deployment's network.
 func (d *Deployment) ServeQueries() *QueryServer {
 	return query.Serve(d.sp, d.net)
 }
 
 // NewQueryRequester creates a networked query client on the deployment's
-// fabric with the given response timeout.
+// fabric with the given per-attempt timeout and the default retry policy.
 func (d *Deployment) NewQueryRequester(timeout time.Duration) *QueryRequester {
 	return query.NewRequester(d.net, timeout)
+}
+
+// NewQueryRequesterWithPolicy creates a networked query client with an
+// explicit retry policy (MaxAttempts: 1 restores single-shot behavior).
+func (d *Deployment) NewQueryRequesterWithPolicy(timeout time.Duration, policy QueryRetryPolicy) *QueryRequester {
+	return query.NewRequesterWithPolicy(d.net, timeout, policy)
 }

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dcert/internal/chain"
+	"dcert/internal/network"
+)
+
+// Client-side certificate catch-up (the liveness half of the fault-tolerant
+// certification plane). A superlight client normally just consumes the
+// certificate stream; under message loss or a partition the stream can stall
+// forever. The Follower detects the stall and explicitly re-requests the
+// latest certificate on TopicCertRequests; any live CertResponder answers by
+// re-publishing its newest ⟨header, certificate⟩ bundle — one accepted
+// bundle brings the client fully current (the superlight catch-up property).
+
+// CertBundle pairs a header with its certificate — the unit a superlight
+// client needs to adopt a new tip, published on TopicCerts.
+type CertBundle struct {
+	// Header is the certified block header.
+	Header *chain.Header
+	// Cert is the certificate over H(Header).
+	Cert *Certificate
+}
+
+// CertRequest asks live issuers to re-publish their latest bundle.
+type CertRequest struct {
+	// From identifies the requesting client (diagnostics only).
+	From string
+	// Height is the requester's current tip height; responders whose tip is
+	// not ahead may stay silent.
+	Height uint64
+}
+
+// FollowerConfig tunes a certificate follower.
+type FollowerConfig struct {
+	// Name identifies the follower on the fabric (default "client").
+	Name string
+	// StallDeadline is how long the cert stream may stay silent before the
+	// follower re-requests the latest certificate (default 200ms).
+	StallDeadline time.Duration
+	// QueueDepth is the cert subscription's buffer (default 64).
+	QueueDepth int
+}
+
+func (c FollowerConfig) withDefaults() FollowerConfig {
+	if c.Name == "" {
+		c.Name = "client"
+	}
+	if c.StallDeadline <= 0 {
+		c.StallDeadline = 200 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// FollowerStats counts a follower's activity.
+type FollowerStats struct {
+	// Accepted is the number of bundles that advanced the client's tip.
+	Accepted uint64
+	// Rejected is the number of bundles that failed validation or were
+	// stale/duplicated (expected under chaotic delivery).
+	Rejected uint64
+	// Rerequests is the number of stall-triggered catch-up requests sent.
+	Rerequests uint64
+}
+
+// Follower drives a SuperlightClient from the fabric's certificate stream,
+// re-requesting the latest certificate whenever the stream stalls.
+type Follower struct {
+	client *SuperlightClient
+	net    *network.Network
+	sub    *network.Subscription
+	cfg    FollowerConfig
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	stats FollowerStats
+}
+
+// FollowCerts starts following certificate bundles on the client's behalf.
+func FollowCerts(client *SuperlightClient, net *network.Network, cfg FollowerConfig) *Follower {
+	cfg = cfg.withDefaults()
+	f := &Follower{
+		client: client,
+		net:    net,
+		sub:    net.Subscribe(network.TopicCerts, cfg.QueueDepth),
+		cfg:    cfg,
+		done:   make(chan struct{}),
+	}
+	f.wg.Add(1)
+	go f.loop()
+	return f
+}
+
+// Stop ends the follower.
+func (f *Follower) Stop() {
+	select {
+	case <-f.done:
+		return
+	default:
+	}
+	close(f.done)
+	f.sub.Cancel()
+	f.wg.Wait()
+}
+
+// Stats snapshots the follower's counters.
+func (f *Follower) Stats() FollowerStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Client returns the wrapped superlight client.
+func (f *Follower) Client() *SuperlightClient {
+	return f.client
+}
+
+func (f *Follower) loop() {
+	defer f.wg.Done()
+	stall := time.NewTimer(f.cfg.StallDeadline)
+	defer stall.Stop()
+	for {
+		select {
+		case <-f.done:
+			return
+		case m, ok := <-f.sub.C:
+			if !ok {
+				return
+			}
+			if b, isBundle := m.Payload.(*CertBundle); isBundle {
+				f.mu.Lock()
+				if err := f.client.ValidateChain(b.Header, b.Cert); err == nil {
+					f.stats.Accepted++
+					// Progress: push the stall horizon out.
+					if !stall.Stop() {
+						select {
+						case <-stall.C:
+						default:
+						}
+					}
+					stall.Reset(f.cfg.StallDeadline)
+				} else {
+					f.stats.Rejected++
+				}
+				f.mu.Unlock()
+			}
+		case <-stall.C:
+			hdr, _ := f.client.Latest()
+			var height uint64
+			if hdr != nil {
+				height = hdr.Height
+			}
+			// Publish errors only mean the fabric shut down.
+			if err := f.net.Publish(network.TopicCertRequests, f.cfg.Name, &CertRequest{From: f.cfg.Name, Height: height}); err != nil {
+				return
+			}
+			f.mu.Lock()
+			f.stats.Rerequests++
+			f.mu.Unlock()
+			stall.Reset(f.cfg.StallDeadline)
+		}
+	}
+}
+
+// WaitForHeight blocks until the client's tip reaches height (polling; the
+// follower keeps validating in the background) or the timeout elapses.
+func (f *Follower) WaitForHeight(height uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		hdr, _ := f.client.Latest()
+		if hdr != nil && hdr.Height >= height {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			cur := uint64(0)
+			if hdr != nil {
+				cur = hdr.Height
+			}
+			st := f.Stats()
+			return fmt.Errorf("core: follower stuck at height %d, want %d (accepted %d, rejected %d, rerequests %d)",
+				cur, height, st.Accepted, st.Rejected, st.Rerequests)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// CertResponder serves catch-up requests for one issuer: every CertRequest
+// whose sender is behind gets the issuer's newest bundle re-published on
+// TopicCerts (a broadcast, so all stalled clients benefit from one answer).
+type CertResponder struct {
+	ci   *Issuer
+	net  *network.Network
+	name string
+	sub  *network.Subscription
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// ServeCertRequests starts answering catch-up requests on the issuer's
+// behalf under the given fabric identity.
+func ServeCertRequests(ci *Issuer, net *network.Network, name string) *CertResponder {
+	r := &CertResponder{
+		ci:   ci,
+		net:  net,
+		name: name,
+		sub:  net.Subscribe(network.TopicCertRequests, 64),
+		done: make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.loop()
+	return r
+}
+
+// Stop ends the responder (a killed CI answers nothing).
+func (r *CertResponder) Stop() {
+	select {
+	case <-r.done:
+		return
+	default:
+	}
+	close(r.done)
+	r.sub.Cancel()
+	r.wg.Wait()
+}
+
+// LatestBundle returns the issuer's newest ⟨header, certificate⟩ pair, or
+// nil before the first certified block.
+func (ci *Issuer) LatestBundle() *CertBundle {
+	ci.mu.RLock()
+	defer ci.mu.RUnlock()
+	if ci.lastCert == nil {
+		return nil
+	}
+	tip := ci.node.Tip()
+	if ci.lastCert.Digest != BlockDigest(&tip.Header) {
+		return nil // mid-certification: tip advanced, cert not recorded yet
+	}
+	return &CertBundle{Header: &tip.Header, Cert: ci.lastCert}
+}
+
+func (r *CertResponder) loop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.done:
+			return
+		case m, ok := <-r.sub.C:
+			if !ok {
+				return
+			}
+			req, isReq := m.Payload.(*CertRequest)
+			if !isReq {
+				continue
+			}
+			bundle := r.ci.LatestBundle()
+			if bundle == nil || bundle.Header.Height <= req.Height {
+				continue // nothing newer to offer
+			}
+			// Publish errors only mean the fabric shut down.
+			if err := r.net.Publish(network.TopicCerts, r.name, bundle); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dcert/internal/enclave"
+	"dcert/internal/network"
+	"dcert/internal/workload"
+)
+
+func TestFollowerConsumesBundleStream(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	net := network.New()
+	defer net.Close()
+	f := FollowCerts(e.client(), net, FollowerConfig{Name: "c1", StallDeadline: time.Second})
+	defer f.Stop()
+
+	const n = 4
+	for i := 0; i < n; i++ {
+		blk := e.mine(t, 3)
+		if _, _, err := e.issuer.ProcessBlock(blk); err != nil {
+			t.Fatalf("ProcessBlock: %v", err)
+		}
+		if err := net.Publish(network.TopicCerts, "ci", e.issuer.LatestBundle()); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	if err := f.WaitForHeight(n, 5*time.Second); err != nil {
+		t.Fatalf("WaitForHeight: %v", err)
+	}
+	if st := f.Stats(); st.Accepted != n {
+		t.Fatalf("stats = %+v, want %d accepted", st, n)
+	}
+}
+
+// TestFollowerCatchesUpViaRerequest starves the follower of the live stream
+// entirely: every bundle publish is lost. The stall deadline must trigger an
+// explicit TopicCertRequests catch-up, and the responder's answer must bring
+// the client to the tip in one validation.
+func TestFollowerCatchesUpViaRerequest(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	net := network.New()
+	defer net.Close()
+	responder := ServeCertRequests(e.issuer, net, "ci")
+	defer responder.Stop()
+
+	// Certify 3 blocks without publishing anything — the live stream is gone.
+	for i := 0; i < 3; i++ {
+		blk := e.mine(t, 3)
+		if _, _, err := e.issuer.ProcessBlock(blk); err != nil {
+			t.Fatalf("ProcessBlock: %v", err)
+		}
+	}
+
+	f := FollowCerts(e.client(), net, FollowerConfig{Name: "c1", StallDeadline: 20 * time.Millisecond})
+	defer f.Stop()
+	if err := f.WaitForHeight(3, 5*time.Second); err != nil {
+		t.Fatalf("catch-up via re-request failed: %v", err)
+	}
+	st := f.Stats()
+	if st.Rerequests == 0 {
+		t.Fatalf("stall never triggered a re-request: %+v", st)
+	}
+}
+
+func TestResponderStaysSilentWhenNotAhead(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	net := network.New()
+	defer net.Close()
+	responder := ServeCertRequests(e.issuer, net, "ci")
+	defer responder.Stop()
+
+	certs := net.Subscribe(network.TopicCerts, 8)
+	defer certs.Cancel()
+
+	// Before any certification there is nothing to serve.
+	if err := net.Publish(network.TopicCertRequests, "c1", &CertRequest{From: "c1"}); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	select {
+	case m := <-certs.C:
+		t.Fatalf("responder answered with nothing certified: %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// A requester already at the tip gets no redundant broadcast.
+	blk := e.mine(t, 3)
+	if _, _, err := e.issuer.ProcessBlock(blk); err != nil {
+		t.Fatalf("ProcessBlock: %v", err)
+	}
+	if err := net.Publish(network.TopicCertRequests, "c1", &CertRequest{From: "c1", Height: 1}); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	select {
+	case m := <-certs.C:
+		t.Fatalf("responder answered a caught-up client: %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+}

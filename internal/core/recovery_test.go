@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dcert/internal/enclave"
+	"dcert/internal/workload"
+)
+
+// certifyBlocks mines and certifies n blocks on the env's issuer.
+func certifyBlocks(t *testing.T, e *env, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		blk := e.mine(t, 4)
+		if _, _, err := e.issuer.ProcessBlock(blk); err != nil {
+			t.Fatalf("ProcessBlock(%d): %v", i, err)
+		}
+	}
+}
+
+func TestIssuerCheckpointMarshalRoundTrip(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	if ckpt := e.issuer.Checkpoint(); ckpt != nil {
+		t.Fatalf("checkpoint before any certification: %+v", ckpt)
+	}
+	certifyBlocks(t, e, 3)
+
+	ckpt := e.issuer.Checkpoint()
+	if ckpt == nil || ckpt.Height != 3 {
+		t.Fatalf("checkpoint = %+v", ckpt)
+	}
+	parsed, err := UnmarshalIssuerCheckpoint(ckpt.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalIssuerCheckpoint: %v", err)
+	}
+	if parsed.Height != ckpt.Height || parsed.BlockHash != ckpt.BlockHash || parsed.Cert.Digest != ckpt.Cert.Digest {
+		t.Fatalf("round trip mismatch: %+v vs %+v", parsed, ckpt)
+	}
+	if _, err := UnmarshalIssuerCheckpoint([]byte{1, 2, 3}); err == nil {
+		t.Fatal("want error for garbage checkpoint")
+	}
+}
+
+// TestIssuerCrashRestartResumesFromCheckpoint is the recovery contract: a
+// restarted CI adopts the persisted certificate and continues the recursion
+// from the crash point — its fresh enclave performs zero Ecalls for already
+// certified history (it never re-executes certification from genesis), and
+// clients accept its certificates after one new attestation check.
+func TestIssuerCrashRestartResumesFromCheckpoint(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	client := e.client()
+	certifyBlocks(t, e, 4)
+	hdr := e.issuer.Node().Tip().Header
+	if err := client.ValidateChain(&hdr, e.issuer.LatestCert()); err != nil {
+		t.Fatalf("pre-crash ValidateChain: %v", err)
+	}
+	oldKey := string(e.issuer.Enclave().PublicKey().Marshal())
+
+	// Persist the checkpoint, then "crash": the enclave (and its sealed key)
+	// is gone; the full-node replica and the checkpoint bytes survive.
+	raw := e.issuer.Checkpoint().Marshal()
+	survivingNode := e.issuer.Node()
+	e.issuer = nil
+
+	ckpt, err := UnmarshalIssuerCheckpoint(raw)
+	if err != nil {
+		t.Fatalf("UnmarshalIssuerCheckpoint: %v", err)
+	}
+	platform, err := e.authority.NewPlatform()
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	resumed, err := ResumeIssuer(survivingNode, e.authority, platform, enclave.CostModel{}, ckpt)
+	if err != nil {
+		t.Fatalf("ResumeIssuer: %v", err)
+	}
+	if got := resumed.Enclave().Stats().Ecalls; got != 0 {
+		t.Fatalf("restart performed %d Ecalls before any new block — it re-certified history", got)
+	}
+	if string(resumed.Enclave().PublicKey().Marshal()) == oldKey {
+		t.Fatal("restarted enclave must generate a fresh sealed key")
+	}
+
+	// Certification resumes from the checkpoint: the next block's enclave
+	// call verifies the predecessor's certificate and extends the chain.
+	e.issuer = resumed
+	blk := e.mine(t, 4)
+	cert, _, err := resumed.ProcessBlock(blk)
+	if err != nil {
+		t.Fatalf("post-restart ProcessBlock: %v", err)
+	}
+	if blk.Header.Height != 5 {
+		t.Fatalf("post-restart block height = %d, want 5", blk.Header.Height)
+	}
+	if got := resumed.Enclave().Stats().Ecalls; got != 1 {
+		t.Fatalf("one new block cost %d Ecalls, want exactly 1", got)
+	}
+	// The client crosses enclave instances transparently: same measurement,
+	// one fresh attestation-report check for the new key.
+	if err := client.ValidateChain(&blk.Header, cert); err != nil {
+		t.Fatalf("ValidateChain across restart: %v", err)
+	}
+}
+
+func TestResumeIssuerRejectsBadCheckpoints(t *testing.T) {
+	e := newEnv(t, workload.KVStore, enclave.CostModel{})
+	certifyBlocks(t, e, 2)
+	stale := e.issuer.Checkpoint()
+	certifyBlocks(t, e, 2) // tip moves past the stale checkpoint
+
+	platform, err := e.authority.NewPlatform()
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	n := e.issuer.Node()
+
+	if _, err := ResumeIssuer(n, e.authority, platform, enclave.CostModel{}, stale); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("stale checkpoint: want ErrBadCheckpoint, got %v", err)
+	}
+	if _, err := ResumeIssuer(n, e.authority, platform, enclave.CostModel{}, nil); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("nil checkpoint past genesis: want ErrBadCheckpoint, got %v", err)
+	}
+
+	tampered := e.issuer.Checkpoint()
+	sig := append([]byte(nil), tampered.Cert.Sig...)
+	sig[0] ^= 0xFF
+	tampered.Cert = &Certificate{
+		PubKey: tampered.Cert.PubKey,
+		Report: tampered.Cert.Report,
+		Digest: tampered.Cert.Digest,
+		Sig:    sig,
+	}
+	if _, err := ResumeIssuer(n, e.authority, platform, enclave.CostModel{}, tampered); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("tampered checkpoint: want ErrBadCheckpoint, got %v", err)
+	}
+}

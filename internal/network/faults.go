@@ -1,0 +1,167 @@
+package network
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Fault injection: a deterministic adversarial-delivery layer for the
+// simulated fabric. A FaultPlan is a seeded set of per-topic/per-publisher
+// rules (drop, duplicate, reorder, latency jitter) plus runtime topic
+// partitions, so integration tests can drive the whole DCert stack through
+// reproducible network chaos and assert that safety and liveness survive it.
+
+// FaultRule matches a subset of published messages and perturbs their
+// delivery. Probabilities are in [0, 1]; a zero rule matches but does
+// nothing.
+type FaultRule struct {
+	// Topic restricts the rule to one topic ("" matches every topic).
+	Topic string
+	// From restricts the rule to one publisher ("" matches every publisher).
+	From string
+	// Drop is the probability the message is silently lost.
+	Drop float64
+	// Duplicate is the probability the message is delivered twice (the
+	// duplicate gets its own delay roll, so it may also arrive out of order).
+	Duplicate float64
+	// Reorder is the probability the message is held back by ReorderDelay,
+	// letting later publishes overtake it.
+	Reorder float64
+	// ReorderDelay is how long a reordered message is held (default 2ms).
+	ReorderDelay time.Duration
+	// JitterMax adds a uniform random delay in [0, JitterMax) to every
+	// matched delivery.
+	JitterMax time.Duration
+}
+
+// matches reports whether the rule applies to a (topic, publisher) pair.
+func (r *FaultRule) matches(topic, from string) bool {
+	return (r.Topic == "" || r.Topic == topic) && (r.From == "" || r.From == from)
+}
+
+// defaultReorderDelay is applied when a rule reorders without specifying
+// its own hold-back delay.
+const defaultReorderDelay = 2 * time.Millisecond
+
+// FaultPlan is a seeded fault configuration. The same plan applied to the
+// same publish sequence perturbs it identically, making chaos tests
+// reproducible.
+type FaultPlan struct {
+	// Seed initializes the plan's private random stream.
+	Seed int64
+	// Rules are evaluated in order; the first match governs the message.
+	Rules []FaultRule
+}
+
+// delivery is one scheduled copy of a message.
+type delivery struct {
+	delay time.Duration
+}
+
+// faultState is the per-network runtime of a FaultPlan.
+type faultState struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	rules       []FaultRule
+	partitioned map[string]bool
+}
+
+func newFaultState(plan *FaultPlan) *faultState {
+	rules := make([]FaultRule, len(plan.Rules))
+	copy(rules, plan.Rules)
+	return &faultState{
+		rng:         rand.New(rand.NewSource(plan.Seed)),
+		rules:       rules,
+		partitioned: make(map[string]bool),
+	}
+}
+
+// plan decides the fate of one published message: the returned slice holds
+// one entry per copy to deliver (empty means dropped or partitioned).
+func (f *faultState) plan(topic, from string) []delivery {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.partitioned[topic] {
+		return nil
+	}
+	var rule *FaultRule
+	for i := range f.rules {
+		if f.rules[i].matches(topic, from) {
+			rule = &f.rules[i]
+			break
+		}
+	}
+	if rule == nil {
+		return []delivery{{}}
+	}
+	if rule.Drop > 0 && f.rng.Float64() < rule.Drop {
+		return nil
+	}
+	copies := 1
+	if rule.Duplicate > 0 && f.rng.Float64() < rule.Duplicate {
+		copies = 2
+	}
+	out := make([]delivery, 0, copies)
+	for i := 0; i < copies; i++ {
+		var d delivery
+		if rule.Reorder > 0 && f.rng.Float64() < rule.Reorder {
+			hold := rule.ReorderDelay
+			if hold <= 0 {
+				hold = defaultReorderDelay
+			}
+			d.delay += hold
+		}
+		if rule.JitterMax > 0 {
+			d.delay += time.Duration(f.rng.Int63n(int64(rule.JitterMax)))
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func (f *faultState) setPartition(topic string, cut bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if cut {
+		f.partitioned[topic] = true
+	} else {
+		delete(f.partitioned, topic)
+	}
+}
+
+// SetFaults installs (or, with nil, removes) a fault plan on the network.
+// Installing a plan resets its random stream, so a fresh identical plan
+// reproduces the same perturbations. Active partitions are cleared.
+func (n *Network) SetFaults(plan *FaultPlan) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if plan == nil {
+		n.faults = nil
+		return
+	}
+	n.faults = newFaultState(plan)
+}
+
+// Partition cuts a topic: every publish on it is dropped until Heal. It is
+// a no-op unless a fault plan is installed (a plan with no rules suffices).
+func (n *Network) Partition(topic string) {
+	n.mu.Lock()
+	f := n.faults
+	n.mu.Unlock()
+	if f != nil {
+		f.setPartition(topic, true)
+	}
+}
+
+// Heal restores delivery on a partitioned topic. Messages published while
+// the partition was up stay lost — recovering from that is the upper
+// layers' job (retries, certificate catch-up).
+func (n *Network) Heal(topic string) {
+	n.mu.Lock()
+	f := n.faults
+	n.mu.Unlock()
+	if f != nil {
+		f.setPartition(topic, false)
+	}
+}

@@ -1,9 +1,11 @@
 // Package network provides the simulated peer-to-peer message fabric that
 // connects the DCert node roles (miner, certificate issuer, service
 // provider, clients) in examples and integration tests. It is a topic-based
-// publish/subscribe bus with optional simulated propagation latency —
-// enough to exercise the certification workflow of Fig. 2 end to end
-// without real sockets.
+// publish/subscribe bus with optional simulated propagation latency and a
+// deterministic fault-injection layer (seeded drop/duplicate/reorder/jitter
+// rules plus healable topic partitions, see FaultPlan) — enough to exercise
+// the certification workflow of Fig. 2 end to end, including its behavior
+// under adversarial delivery, without real sockets.
 package network
 
 import (
@@ -26,6 +28,9 @@ const (
 	TopicCerts = "certs"
 	// TopicIndexCerts carries index certificates (CI → clients).
 	TopicIndexCerts = "index-certs"
+	// TopicCertRequests carries clients' explicit catch-up requests for the
+	// latest certificate (client → CIs) when the cert stream stalls.
+	TopicCertRequests = "cert-requests"
 )
 
 // Message is one published datum.
@@ -45,6 +50,7 @@ type Network struct {
 	mu      sync.Mutex
 	subs    map[string][]*Subscription
 	latency time.Duration
+	faults  *faultState
 	closed  bool
 	wg      sync.WaitGroup
 }
@@ -77,14 +83,36 @@ type Subscription struct {
 	topic  string
 	ch     chan Message
 	cancel sync.Once
+
+	// mu guards closed so in-flight deliveries never race Cancel's close of
+	// ch (a concurrent Publish must not send on a closed channel).
+	mu     sync.Mutex
+	closed bool
 }
 
 // Cancel removes the subscription and closes C.
 func (s *Subscription) Cancel() {
 	s.cancel.Do(func() {
 		s.net.remove(s)
+		s.mu.Lock()
+		s.closed = true
 		close(s.ch)
+		s.mu.Unlock()
 	})
+}
+
+// deliver enqueues one message, dropping it if the queue is full (slow
+// subscriber) or the subscription was cancelled.
+func (s *Subscription) deliver(m Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.ch <- m:
+	default: // slow subscriber: drop, as real gossip would
+	}
 }
 
 // Subscribe registers for a topic with the given queue depth. Messages that
@@ -115,6 +143,9 @@ func (n *Network) remove(s *Subscription) {
 }
 
 // Publish broadcasts a payload to all current subscribers of the topic.
+// With a fault plan installed, the message may be dropped, duplicated,
+// delayed, or reordered per the plan's matching rule — Publish still
+// returns nil, as a real sender never learns what gossip did to a packet.
 func (n *Network) Publish(topic, from string, payload any) error {
 	n.mu.Lock()
 	if n.closed {
@@ -123,27 +154,31 @@ func (n *Network) Publish(topic, from string, payload any) error {
 	}
 	targets := make([]*Subscription, len(n.subs[topic]))
 	copy(targets, n.subs[topic])
+	faults := n.faults
 	n.mu.Unlock()
 
+	copies := []delivery{{}}
+	if faults != nil {
+		copies = faults.plan(topic, from)
+	}
+
 	msg := Message{Topic: topic, From: from, Payload: payload}
-	deliver := func() {
-		for _, s := range targets {
-			select {
-			case s.ch <- msg:
-			default: // slow subscriber: drop, as real gossip would
+	for _, c := range copies {
+		delay := n.latency + c.delay
+		if delay == 0 {
+			for _, s := range targets {
+				s.deliver(msg)
 			}
+			continue
 		}
+		n.wg.Add(1)
+		time.AfterFunc(delay, func() {
+			defer n.wg.Done()
+			for _, s := range targets {
+				s.deliver(msg)
+			}
+		})
 	}
-	if n.latency == 0 {
-		deliver()
-		return nil
-	}
-	n.wg.Add(1)
-	timer := time.AfterFunc(n.latency, func() {
-		defer n.wg.Done()
-		deliver()
-	})
-	_ = timer
 	return nil
 }
 

@@ -2,6 +2,7 @@ package network
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 )
@@ -121,6 +122,59 @@ func TestLatencyDelaysDelivery(t *testing.T) {
 		t.Fatalf("delivered too fast: %v", elapsed)
 	}
 	n.Close()
+}
+
+// TestConcurrentPublishSubscribeCancelStress hammers the fabric from many
+// goroutines — publishers racing subscribers racing Cancel racing Close —
+// as a regression for the Publish-vs-Cancel send-on-closed-channel panic.
+// Run under -race.
+func TestConcurrentPublishSubscribeCancelStress(t *testing.T) {
+	n := New(WithLatency(100 * time.Microsecond))
+	n.SetFaults(&FaultPlan{Seed: 13, Rules: []FaultRule{
+		{Drop: 0.1, Duplicate: 0.2, Reorder: 0.2, ReorderDelay: 100 * time.Microsecond},
+	}})
+	topics := []string{TopicBlocks, TopicCerts, TopicIndexCerts}
+
+	var wg sync.WaitGroup
+	// Churning subscribers: subscribe, read a little, cancel.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 40; j++ {
+				sub := n.Subscribe(topics[(i+j)%len(topics)], 2)
+				select {
+				case <-sub.C:
+				case <-time.After(50 * time.Microsecond):
+				}
+				sub.Cancel()
+			}
+		}(i)
+	}
+	// Publishers racing against the churn.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				_ = n.Publish(topics[j%len(topics)], "stress", j)
+			}
+		}(i)
+	}
+	// Partition flapping in parallel.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			n.Partition(TopicCerts)
+			n.Heal(TopicCerts)
+		}
+	}()
+	wg.Wait()
+	n.Close()
+	if err := n.Publish(TopicBlocks, "stress", 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed after Close, got %v", err)
+	}
 }
 
 func TestPublishAfterClose(t *testing.T) {

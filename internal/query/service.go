@@ -3,6 +3,7 @@ package query
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,10 +20,14 @@ import (
 
 // Service errors.
 var (
-	// ErrTimeout is returned when a networked query receives no response.
+	// ErrTimeout is returned when a networked query receives no response
+	// within the attempt budget.
 	ErrTimeout = errors.New("query: request timed out")
 	// ErrRemote is returned when the SP reports a failure.
 	ErrRemote = errors.New("query: remote error")
+	// ErrRequesterClosed is returned by requests pending (or issued) after
+	// Close; unlike ErrTimeout it reports a local, permanent condition.
+	ErrRequesterClosed = errors.New("query: requester closed")
 )
 
 // Network topics for the query protocol.
@@ -154,26 +159,76 @@ func UnmarshalResponse(raw []byte) (*Response, error) {
 	return &r, nil
 }
 
+// respCacheLimit bounds the server's idempotent-response cache (FIFO).
+const respCacheLimit = 512
+
 // Server runs a ServiceProvider behind the network's query topic.
+//
+// The server is idempotent under duplicated delivery: responses are cached
+// keyed by the exact request bytes, so a request replayed by the network (or
+// a client resend with the same ID) republishes the original response
+// instead of recomputing or double-delivering a fresh one.
 type Server struct {
 	sp   *ServiceProvider
 	net  *network.Network
 	sub  *network.Subscription
 	done chan struct{}
 	wg   sync.WaitGroup
+
+	mu         sync.Mutex
+	cache      map[string][]byte
+	cacheOrder []string
+	computed   uint64
+	replayed   uint64
 }
 
 // Serve starts answering requests until Stop is called.
 func Serve(sp *ServiceProvider, net *network.Network) *Server {
 	s := &Server{
-		sp:   sp,
-		net:  net,
-		sub:  net.Subscribe(TopicQueries, 64),
-		done: make(chan struct{}),
+		sp:    sp,
+		net:   net,
+		sub:   net.Subscribe(TopicQueries, 64),
+		done:  make(chan struct{}),
+		cache: make(map[string][]byte),
 	}
 	s.wg.Add(1)
 	go s.loop()
 	return s
+}
+
+// Stats reports how many requests were computed fresh and how many were
+// answered from the idempotent-response cache.
+func (s *Server) Stats() (computed, replayed uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.computed, s.replayed
+}
+
+// cached returns the stored response for a request's exact bytes, if any.
+func (s *Server) cached(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, ok := s.cache[key]
+	if ok {
+		s.replayed++
+	}
+	return raw, ok
+}
+
+// store records a freshly computed response, evicting FIFO past the limit.
+func (s *Server) store(key string, resp []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.computed++
+	if _, ok := s.cache[key]; ok {
+		return
+	}
+	if len(s.cacheOrder) >= respCacheLimit {
+		delete(s.cache, s.cacheOrder[0])
+		s.cacheOrder = s.cacheOrder[1:]
+	}
+	s.cache[key] = resp
+	s.cacheOrder = append(s.cacheOrder, key)
 }
 
 // Stop shuts the server down and waits for the serving goroutine.
@@ -201,9 +256,13 @@ func (s *Server) loop() {
 			if err != nil {
 				continue // malformed request: nothing to respond to
 			}
-			resp := s.handle(req)
+			respRaw, ok := s.cached(string(raw))
+			if !ok {
+				respRaw = s.handle(req).Marshal()
+				s.store(string(raw), respRaw)
+			}
 			// Publish errors only mean the fabric shut down.
-			if err := s.net.Publish(TopicResults, "sp", resp.Marshal()); err != nil {
+			if err := s.net.Publish(TopicResults, "sp", respRaw); err != nil {
 				return
 			}
 		}
@@ -241,7 +300,54 @@ func (s *Server) handle(req *Request) *Response {
 	return resp
 }
 
-// Requester issues queries over the network and awaits responses.
+// RetryPolicy bounds and paces the Requester's attempts. Each attempt gets
+// a fresh request ID, so a response to a late earlier attempt is simply
+// dropped and the SP's idempotent cache absorbs network-level duplicates.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget (minimum 1).
+	MaxAttempts int
+	// BaseBackoff is the sleep after the first failed attempt; it doubles
+	// per attempt up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (0 = uncapped).
+	MaxBackoff time.Duration
+	// JitterSeed makes the ±50% backoff jitter reproducible (same seed,
+	// same schedule).
+	JitterSeed int64
+}
+
+// DefaultRetryPolicy retries twice after the first timeout with fast,
+// seeded-jitter backoff — suited to the simulated fabric's time scales.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	return p
+}
+
+// backoff returns the pause before retry attempt+1 (attempt counts from 0):
+// BaseBackoff·2^attempt, capped, with deterministic ±50% jitter.
+func (r *Requester) backoff(attempt int) time.Duration {
+	d := r.policy.BaseBackoff << uint(attempt)
+	if r.policy.MaxBackoff > 0 && d > r.policy.MaxBackoff {
+		d = r.policy.MaxBackoff
+	}
+	if d <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	j := r.jitter.Int63n(int64(d))
+	r.mu.Unlock()
+	return d/2 + time.Duration(j)/2
+}
+
+// Requester issues queries over the network and awaits responses, retrying
+// timed-out attempts with exponential backoff + jitter within a bounded
+// attempt budget.
 //
 // Requester is safe for concurrent use.
 type Requester struct {
@@ -249,29 +355,49 @@ type Requester struct {
 	sub     *network.Subscription
 	nextID  atomic.Uint64
 	timeout time.Duration
+	policy  RetryPolicy
+	done    chan struct{}
 
 	mu      sync.Mutex
+	jitter  *rand.Rand
 	pending map[uint64]chan *Response
 	closed  bool
 }
 
-// NewRequester creates a query client over the fabric.
+// NewRequester creates a query client over the fabric with the default
+// retry policy and the given per-attempt timeout.
 func NewRequester(net *network.Network, timeout time.Duration) *Requester {
+	return NewRequesterWithPolicy(net, timeout, DefaultRetryPolicy())
+}
+
+// NewRequesterWithPolicy creates a query client with an explicit retry
+// policy (MaxAttempts: 1 restores single-shot behavior).
+func NewRequesterWithPolicy(net *network.Network, timeout time.Duration, policy RetryPolicy) *Requester {
 	r := &Requester{
 		net:     net,
 		sub:     net.Subscribe(TopicResults, 64),
 		timeout: timeout,
+		policy:  policy.withDefaults(),
+		done:    make(chan struct{}),
+		jitter:  rand.New(rand.NewSource(policy.JitterSeed)),
 		pending: make(map[uint64]chan *Response),
 	}
 	go r.dispatch()
 	return r
 }
 
-// Close stops the requester.
+// Close stops the requester. Requests still in flight fail immediately with
+// ErrRequesterClosed instead of running out their timeouts.
 func (r *Requester) Close() {
 	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
 	r.closed = true
+	r.pending = make(map[uint64]chan *Response)
 	r.mu.Unlock()
+	close(r.done)
 	r.sub.Cancel()
 }
 
@@ -297,14 +423,14 @@ func (r *Requester) dispatch() {
 	}
 }
 
-// roundTrip sends a request and waits for its response.
-func (r *Requester) roundTrip(req *Request) (*Response, error) {
+// attempt sends the request once under a fresh ID and waits one timeout.
+func (r *Requester) attempt(req *Request) (*Response, error) {
 	req.ID = r.nextID.Add(1)
 	ch := make(chan *Response, 1)
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		return nil, fmt.Errorf("query: requester closed")
+		return nil, ErrRequesterClosed
 	}
 	r.pending[req.ID] = ch
 	r.mu.Unlock()
@@ -312,18 +438,48 @@ func (r *Requester) roundTrip(req *Request) (*Response, error) {
 	if err := r.net.Publish(TopicQueries, "client", req.Marshal()); err != nil {
 		return nil, err
 	}
+	timer := time.NewTimer(r.timeout)
+	defer timer.Stop()
 	select {
 	case resp := <-ch:
 		if resp.Err != "" {
 			return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Err)
 		}
 		return resp, nil
-	case <-time.After(r.timeout):
+	case <-r.done:
+		return nil, ErrRequesterClosed
+	case <-timer.C:
 		r.mu.Lock()
 		delete(r.pending, req.ID)
 		r.mu.Unlock()
 		return nil, ErrTimeout
 	}
+}
+
+// roundTrip runs the retry loop: timeouts are retried with backoff within
+// the attempt budget; remote errors, fabric shutdown, and Close are final.
+func (r *Requester) roundTrip(req *Request) (*Response, error) {
+	var err error
+	for i := 0; i < r.policy.MaxAttempts; i++ {
+		if i > 0 {
+			pause := time.NewTimer(r.backoff(i - 1))
+			select {
+			case <-pause.C:
+			case <-r.done:
+				pause.Stop()
+				return nil, ErrRequesterClosed
+			}
+		}
+		var resp *Response
+		resp, err = r.attempt(req)
+		if err == nil {
+			return resp, nil
+		}
+		if !errors.Is(err, ErrTimeout) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("%w (after %d attempts)", ErrTimeout, r.policy.MaxAttempts)
 }
 
 // Historical runs a remote historical query.

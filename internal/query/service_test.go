@@ -141,6 +141,204 @@ func TestNetworkedQueryConcurrentClients(t *testing.T) {
 	}
 }
 
+func TestRetryingRequesterSurvivesDrops(t *testing.T) {
+	r, net, _, cleanup := servedRig(t)
+	defer cleanup()
+
+	// Drop 60% of both request and response traffic; 6 attempts with fast
+	// backoff push the success probability to ~1 for a seeded stream.
+	net.SetFaults(&network.FaultPlan{Seed: 21, Rules: []network.FaultRule{
+		{Topic: TopicQueries, Drop: 0.6},
+		{Topic: TopicResults, Drop: 0.6},
+	}})
+	req := NewRequesterWithPolicy(net, 30*time.Millisecond, RetryPolicy{
+		MaxAttempts: 6, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond, JitterSeed: 21,
+	})
+	defer req.Close()
+
+	ix, err := r.sp.Index("hist")
+	if err != nil {
+		t.Fatalf("Index: %v", err)
+	}
+	root, err := ix.Root()
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	key := anyIndexedKey(t, ix)
+	res, err := req.Historical("hist", key, 0, 100)
+	if err != nil {
+		t.Fatalf("Historical under 60%% loss: %v", err)
+	}
+	if err := VerifyHistorical(root, res); err != nil {
+		t.Fatalf("VerifyHistorical: %v", err)
+	}
+}
+
+func TestRetriedTimeoutIsErrTimeout(t *testing.T) {
+	// No server: every attempt times out; the final error must still be
+	// errors.Is-able as ErrTimeout through the retry wrapper.
+	net := network.New()
+	defer net.Close()
+	req := NewRequesterWithPolicy(net, 10*time.Millisecond, RetryPolicy{
+		MaxAttempts: 3, BaseBackoff: time.Millisecond,
+	})
+	defer req.Close()
+	if _, err := req.State("k"); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout through retry path, got %v", err)
+	}
+}
+
+func TestRemoteErrorIsNotRetried(t *testing.T) {
+	r, net, _, cleanup := servedRig(t)
+	defer cleanup()
+	_ = r
+	// Huge backoff: if the remote error were retried, the call would stall
+	// for minutes instead of returning on the first attempt.
+	req := NewRequesterWithPolicy(net, 2*time.Second, RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Minute})
+	defer req.Close()
+	start := time.Now()
+	_, err := req.Historical("no-such-index", "k", 0, 1)
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("want ErrRemote through retry path, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("remote error appears to have been retried: took %v", elapsed)
+	}
+}
+
+func TestCloseFailsPendingRequestsImmediately(t *testing.T) {
+	// No server, long timeout: the request would block for 10s; Close must
+	// release it at once with ErrRequesterClosed (not ErrTimeout).
+	net := network.New()
+	defer net.Close()
+	req := NewRequesterWithPolicy(net, 10*time.Second, RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Second})
+	errs := make(chan error, 1)
+	go func() {
+		_, err := req.State("k")
+		errs <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the attempt get in flight
+	start := time.Now()
+	req.Close()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrRequesterClosed) {
+			t.Fatalf("want ErrRequesterClosed, got %v", err)
+		}
+		if errors.Is(err, ErrTimeout) {
+			t.Fatalf("closed request must not read as a timeout: %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Fatalf("Close took %v to release the pending request", elapsed)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending request still blocked after Close")
+	}
+	if _, err := req.State("k"); !errors.Is(err, ErrRequesterClosed) {
+		t.Fatalf("post-Close request: want ErrRequesterClosed, got %v", err)
+	}
+}
+
+func TestServerIgnoresMalformedAndNonByteRequests(t *testing.T) {
+	r, net, req, cleanup := servedRig(t)
+	defer cleanup()
+
+	// Garbage bytes, truncated request, and a non-[]byte payload must all be
+	// ignored without wedging the serve loop.
+	if err := net.Publish(TopicQueries, "fuzzer", []byte{0xff, 0x01}); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if err := net.Publish(TopicQueries, "fuzzer", (&Request{ID: 9, Kind: reqState, Key: "k"}).Marshal()[:3]); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if err := net.Publish(TopicQueries, "fuzzer", 12345); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+
+	// The server still answers well-formed requests afterwards.
+	tip := r.sp.Node().Tip()
+	res, err := req.State("still-served")
+	if err != nil {
+		t.Fatalf("State after malformed traffic: %v", err)
+	}
+	if err := VerifyState(&tip.Header, res); err != nil {
+		t.Fatalf("VerifyState: %v", err)
+	}
+}
+
+func TestServerRejectsUnknownRequestKind(t *testing.T) {
+	_, net, _, cleanup := servedRig(t)
+	defer cleanup()
+
+	results := net.Subscribe(TopicResults, 8)
+	defer results.Cancel()
+	if err := net.Publish(TopicQueries, "client", (&Request{ID: 77, Kind: 0xAB}).Marshal()); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	select {
+	case m := <-results.C:
+		resp, err := UnmarshalResponse(m.Payload.([]byte))
+		if err != nil {
+			t.Fatalf("UnmarshalResponse: %v", err)
+		}
+		if resp.ID != 77 || !strings.Contains(resp.Err, "unknown request kind") {
+			t.Fatalf("response = %+v", resp)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no response to unknown-kind request")
+	}
+}
+
+func TestServerIdempotentUnderDuplicatedRequests(t *testing.T) {
+	r, _, _ := queryableRig(t)
+	net := network.New()
+	defer net.Close()
+	srv := Serve(r.sp, net)
+	defer srv.Stop()
+
+	results := net.Subscribe(TopicResults, 16)
+	defer results.Cancel()
+	raw := (&Request{ID: 42, Kind: reqState, Key: "dup"}).Marshal()
+	const resends = 4
+	for i := 0; i < resends; i++ {
+		if err := net.Publish(TopicQueries, "client", raw); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+
+	// Every duplicate is answered (byte-identical), but computed only once.
+	var first []byte
+	got := 0
+	deadline := time.After(2 * time.Second)
+	for got < resends {
+		select {
+		case m := <-results.C:
+			resp, err := UnmarshalResponse(m.Payload.([]byte))
+			if err != nil {
+				t.Fatalf("UnmarshalResponse: %v", err)
+			}
+			if resp.ID != 42 {
+				t.Fatalf("unexpected response ID %d", resp.ID)
+			}
+			if first == nil {
+				first = m.Payload.([]byte)
+			} else if string(first) != string(m.Payload.([]byte)) {
+				t.Fatal("duplicate request produced a different response")
+			}
+			got++
+		case <-deadline:
+			t.Fatalf("only %d/%d duplicate responses arrived", got, resends)
+		}
+	}
+	computed, replayed := srv.Stats()
+	if computed != 1 {
+		t.Fatalf("server computed %d times for one unique request", computed)
+	}
+	if replayed != resends-1 {
+		t.Fatalf("server replayed %d times, want %d", replayed, resends-1)
+	}
+}
+
 func TestRequestMarshalRoundTrip(t *testing.T) {
 	req := &Request{ID: 7, Kind: reqKeyword, Index: "kw", Keywords: []string{"a", "b"}}
 	parsed, err := UnmarshalRequest(req.Marshal())
