@@ -8,20 +8,22 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 chaos fmt vet bench clean
+.PHONY: all tier1 tier2 chaos fmt vet bench bench-json clean
 
 all: tier1
 
 tier1:
 	$(GO) build ./...
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 tier2: fmt vet
 	$(GO) test -race ./...
 
 # The chaos suite alone (subset of tier2), for iterating on fault plans.
+# -count=1 defeats the test cache: fault plans are seeded but scheduling is
+# not, so a cached pass proves nothing about the current build.
 chaos:
-	$(GO) test -race -run 'TestChaos' -v .
+	$(GO) test -race -count=1 -run 'TestChaos' -v .
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -34,6 +36,10 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Pipeline throughput experiment with a machine-readable artifact.
+bench-json:
+	$(GO) run ./cmd/dcert-bench -exp pipeline -json BENCH_pipeline.json
 
 clean:
 	$(GO) clean ./...

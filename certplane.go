@@ -1,6 +1,7 @@
 package dcert
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -52,6 +53,13 @@ type ciSlot struct {
 	// crash (in a real deployment the CI writes it after every certificate).
 	checkpoint []byte
 	alive      bool
+	// pipe is the slot's certification pipeline while pipelined mining is on.
+	pipe *core.Pipeline
+	// pipeDone closes when the slot's bundle-publishing consumer exits.
+	pipeDone chan struct{}
+	// pipeErr is the first non-abort certification failure the consumer saw
+	// (written by the consumer goroutine, read after pipeDone closes).
+	pipeErr error
 }
 
 // CertPlane runs N redundant certificate issuers over the deployment's
@@ -61,6 +69,8 @@ type CertPlane struct {
 	mu sync.Mutex
 	// slots are the plane's issuers, slot 0 being the deployment's primary.
 	slots []*ciSlot
+	// pipeCfg is non-nil while pipelined mining is on (StartPipelines).
+	pipeCfg *PipelineConfig
 }
 
 // StartCertPlane builds a certification plane of n issuers (n ≥ 1). The
@@ -168,10 +178,158 @@ func (p *CertPlane) MineAndBroadcast(n int) (*Block, error) {
 	return blk, nil
 }
 
+// StartPipelines switches the plane to pipelined certification: every live
+// issuer gets a core.Pipeline, and MineAndBroadcastPipelined feeds blocks to
+// all of them concurrently. Certificate bundles publish asynchronously as
+// each pipeline's committer lands them. DrainPipelines (or Kill per slot)
+// tears the pipelines down.
+func (p *CertPlane) StartPipelines(cfg PipelineConfig) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pipeCfg != nil {
+		return fmt.Errorf("dcert: pipelines already running")
+	}
+	c := cfg
+	p.pipeCfg = &c
+	for _, s := range p.slots {
+		if !s.alive {
+			continue
+		}
+		if err := p.startSlotPipeline(s); err != nil {
+			for _, t := range p.slots {
+				if t.pipe != nil {
+					t.pipe.Abort()
+					<-t.pipeDone
+					t.pipe, t.pipeDone, t.pipeErr = nil, nil, nil
+				}
+			}
+			p.pipeCfg = nil
+			return fmt.Errorf("dcert: start pipeline %s: %w", s.name, err)
+		}
+	}
+	return nil
+}
+
+// startSlotPipeline (mu held) attaches a pipeline plus its bundle-publishing
+// consumer to a live slot.
+func (p *CertPlane) startSlotPipeline(s *ciSlot) error {
+	pl, err := core.NewPipeline(s.issuer, *p.pipeCfg)
+	if err != nil {
+		return err
+	}
+	s.pipe = pl
+	s.pipeDone = make(chan struct{})
+	s.pipeErr = nil
+	go func(s *ciSlot, pl *core.Pipeline) {
+		defer close(s.pipeDone)
+		for res := range pl.Results() {
+			if res.Err != nil {
+				if s.pipeErr == nil && !errors.Is(res.Err, core.ErrPipelineAborted) {
+					s.pipeErr = res.Err
+				}
+				continue
+			}
+			bundle := &CertBundle{Header: &res.Block.Header, Cert: res.Cert}
+			if err := p.d.net.Publish(TopicCerts, s.name, bundle); err != nil && s.pipeErr == nil {
+				s.pipeErr = err
+			}
+		}
+	}(s, pl)
+	return nil
+}
+
+// MineAndBroadcastPipelined mines a block and submits it to every live
+// issuer's pipeline instead of certifying inline: block i+1 is proposed,
+// verified, and speculatively executed while block i is still inside the
+// enclaves. The block itself (and the SP feed) publishes immediately;
+// bundles follow as the pipelines certify.
+func (p *CertPlane) MineAndBroadcastPipelined(n int) (*Block, error) {
+	txs, err := p.d.gen.Block(n)
+	if err != nil {
+		return nil, err
+	}
+	blk, err := p.d.miner.Propose(txs)
+	if err != nil {
+		return nil, fmt.Errorf("dcert: propose: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pipeCfg == nil {
+		return nil, fmt.Errorf("dcert: pipelines not running (call StartPipelines first)")
+	}
+	for _, s := range p.slots {
+		if !s.alive || s.pipe == nil {
+			continue
+		}
+		if err := s.pipe.Submit(blk); err != nil {
+			return nil, fmt.Errorf("dcert: %s submit: %w", s.name, err)
+		}
+	}
+	if err := p.d.sp.ProcessBlock(blk); err != nil {
+		return nil, fmt.Errorf("dcert: SP: %w", err)
+	}
+	if err := p.d.net.Publish(TopicBlocks, "miner", blk); err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+// DrainPipelines completes pipelined certification: every live pipeline is
+// closed, all in-flight blocks certify and publish, and the plane returns to
+// inline mining. It reports the first certification failure, if any.
+func (p *CertPlane) DrainPipelines() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pipeCfg == nil {
+		return fmt.Errorf("dcert: pipelines not running")
+	}
+	var firstErr error
+	for _, s := range p.slots {
+		if s.pipe == nil {
+			continue
+		}
+		s.pipe.Close()
+		err := s.pipe.Wait()
+		<-s.pipeDone
+		if firstErr == nil {
+			if err != nil {
+				firstErr = err
+			} else if s.pipeErr != nil {
+				firstErr = s.pipeErr
+			}
+		}
+		s.pipe, s.pipeDone, s.pipeErr = nil, nil, nil
+	}
+	p.pipeCfg = nil
+	return firstErr
+}
+
+// CheckpointHeight reports the certified height recorded in a crashed
+// issuer's persisted checkpoint (zero when it crashed before certifying).
+func (p *CertPlane) CheckpointHeight(name string) (uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, err := p.slot(name)
+	if err != nil {
+		return 0, err
+	}
+	if s.checkpoint == nil {
+		return 0, nil
+	}
+	ckpt, err := core.UnmarshalIssuerCheckpoint(s.checkpoint)
+	if err != nil {
+		return 0, err
+	}
+	return ckpt.Height, nil
+}
+
 // Kill crashes an issuer: its enclave (and sealed key) is destroyed, its
 // responder stops answering, and the plane stops feeding it blocks. The
 // issuer's full-node replica and its last persisted certificate survive, as
-// they would on the untrusted host's disk.
+// they would on the untrusted host's disk. If the issuer was running a
+// certification pipeline, every speculative (uncertified) state commit is
+// rolled back first, so the surviving replica and checkpoint describe
+// exactly the certified tip — in-flight speculation dies with the enclave.
 func (p *CertPlane) Kill(name string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -181,6 +339,11 @@ func (p *CertPlane) Kill(name string) error {
 	}
 	if !s.alive {
 		return fmt.Errorf("dcert: issuer %q already down", name)
+	}
+	if s.pipe != nil {
+		s.pipe.Abort()
+		<-s.pipeDone
+		s.pipe, s.pipeDone, s.pipeErr = nil, nil, nil
 	}
 	if ckpt := s.issuer.Checkpoint(); ckpt != nil {
 		s.checkpoint = ckpt.Marshal()
@@ -222,15 +385,31 @@ func (p *CertPlane) Restart(name string) error {
 		return fmt.Errorf("dcert: restart %s: %w", name, err)
 	}
 	// Catch up: certify the blocks missed while down, continuing the
-	// recursion from the checkpointed certificate.
+	// recursion from the checkpointed certificate. The missed blocks form a
+	// batch, so they stream through a catch-up pipeline (the recovering CI's
+	// enclave never idles waiting for the host to prepare the next block).
 	minerStore := p.d.miner.Store()
+	var missed []*Block
 	for h := s.node.Tip().Header.Height + 1; h <= minerStore.BestHeight(); h++ {
 		blk, err := minerStore.AtHeight(h)
 		if err != nil {
 			return fmt.Errorf("dcert: restart %s: fetch height %d: %w", name, h, err)
 		}
-		if _, _, err := ci.ProcessBlock(blk); err != nil {
-			return fmt.Errorf("dcert: restart %s: re-certify height %d: %w", name, h, err)
+		missed = append(missed, blk)
+	}
+	if len(missed) > 0 {
+		catchUp := PipelineConfig{}
+		if p.pipeCfg != nil {
+			catchUp = *p.pipeCfg
+		}
+		results, err := ci.ProcessBlocksPipelined(missed, catchUp)
+		if err != nil {
+			return fmt.Errorf("dcert: restart %s: re-certify: %w", name, err)
+		}
+		for _, res := range results {
+			if res.Err != nil {
+				return fmt.Errorf("dcert: restart %s: re-certify height %d: %w", name, res.Block.Header.Height, res.Err)
+			}
 		}
 	}
 	if bundle := ci.LatestBundle(); bundle != nil {
@@ -241,6 +420,11 @@ func (p *CertPlane) Restart(name string) error {
 	s.issuer = ci
 	s.responder = core.ServeCertRequests(ci, p.d.net, name)
 	s.alive = true
+	if p.pipeCfg != nil {
+		if err := p.startSlotPipeline(s); err != nil {
+			return fmt.Errorf("dcert: restart %s: pipeline: %w", name, err)
+		}
+	}
 	if s.name == "ci0" {
 		p.d.issuer = ci // keep Deployment.Issuer() pointing at the live primary
 	}

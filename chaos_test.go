@@ -23,14 +23,19 @@ type chaosRig struct {
 }
 
 func newChaosRig(t *testing.T, seed int64, issuers int, plan *dcert.FaultPlan) (*chaosRig, func()) {
+	return newChaosRigCost(t, seed, issuers, plan, dcert.EnclaveCostModel{})
+}
+
+func newChaosRigCost(t *testing.T, seed int64, issuers int, plan *dcert.FaultPlan, cost dcert.EnclaveCostModel) (*chaosRig, func()) {
 	t.Helper()
 	dep, err := dcert.NewDeployment(dcert.Config{
-		Workload:   dcert.KVStore,
-		Contracts:  4,
-		Accounts:   8,
-		Difficulty: 2,
-		Seed:       seed,
-		KeySpace:   30,
+		Workload:    dcert.KVStore,
+		Contracts:   4,
+		Accounts:    8,
+		Difficulty:  2,
+		Seed:        seed,
+		KeySpace:    30,
+		EnclaveCost: cost,
 	})
 	if err != nil {
 		t.Fatalf("NewDeployment: %v", err)
@@ -185,6 +190,97 @@ func TestChaosPartitionHealAndFailover(t *testing.T) {
 	// whole chain from genesis.
 	if ecalls := ci0.Enclave().Stats().Ecalls; ecalls != 6 {
 		t.Fatalf("restarted CI performed %d Ecalls, want 6 (3 catch-up + 3 new)", ecalls)
+	}
+	rig.converge(t)
+}
+
+// TestChaosPipelinedCrashRecovery kills a CI while its certification
+// pipeline has blocks in flight: submitted, speculatively executed, but not
+// yet certified. The crash must discard all speculation (the checkpoint
+// describes only certified work), the surviving CI carries the plane, and
+// the restarted CI re-certifies exactly the blocks past its checkpoint —
+// no gap in its certificate chain and no block signed twice.
+func TestChaosPipelinedCrashRecovery(t *testing.T) {
+	// A sluggish enclave (2ms per transition) keeps several blocks in the
+	// speculative stages when the kill lands.
+	rig, cleanup := newChaosRigCost(t, 404, 2, &dcert.FaultPlan{
+		Seed: 404,
+		Rules: []dcert.FaultRule{
+			{Topic: dcert.TopicCerts, Drop: 0.2, Duplicate: 0.2},
+		},
+	}, dcert.EnclaveCostModel{TransitionLatency: 2 * time.Millisecond, ComputeFactor: 1.25})
+	defer cleanup()
+
+	if err := rig.plane.StartPipelines(dcert.PipelineConfig{Workers: 2}); err != nil {
+		t.Fatalf("StartPipelines: %v", err)
+	}
+
+	// Phase 1: stream blocks through the pipelines, then kill ci0 while its
+	// pipeline is still draining them.
+	for i := 0; i < 4; i++ {
+		if _, err := rig.plane.MineAndBroadcastPipelined(5); err != nil {
+			t.Fatalf("phase 1: %v", err)
+		}
+	}
+	if err := rig.plane.Kill("ci0"); err != nil {
+		t.Fatalf("Kill(ci0): %v", err)
+	}
+	ckptHeight, err := rig.plane.CheckpointHeight("ci0")
+	if err != nil {
+		t.Fatalf("CheckpointHeight: %v", err)
+	}
+
+	// Phase 2: the surviving CI carries the plane alone.
+	for i := 0; i < 3; i++ {
+		if _, err := rig.plane.MineAndBroadcastPipelined(5); err != nil {
+			t.Fatalf("phase 2: %v", err)
+		}
+	}
+
+	// Phase 3: restart. Catch-up re-certifies every block after the
+	// checkpoint — whatever was speculative at the kill is re-executed and
+	// re-signed by the fresh enclave, not recovered from the dead one.
+	minerBestAtRestart := rig.dep.Miner().Tip().Header.Height
+	if err := rig.plane.Restart("ci0"); err != nil {
+		t.Fatalf("Restart(ci0): %v", err)
+	}
+	const minedAfterRestart = 2
+	for i := 0; i < minedAfterRestart; i++ {
+		if _, err := rig.plane.MineAndBroadcastPipelined(5); err != nil {
+			t.Fatalf("phase 3: %v", err)
+		}
+	}
+	if err := rig.plane.DrainPipelines(); err != nil {
+		t.Fatalf("DrainPipelines: %v", err)
+	}
+
+	ci0, err := rig.plane.Issuer("ci0")
+	if err != nil {
+		t.Fatalf("Issuer(ci0): %v", err)
+	}
+	// No double-signing, no gaps: one Ecall per block from the checkpoint to
+	// the final tip, and nothing before the checkpoint.
+	wantEcalls := (minerBestAtRestart - ckptHeight) + minedAfterRestart
+	if ecalls := ci0.Enclave().Stats().Ecalls; uint64(ecalls) != wantEcalls {
+		t.Fatalf("restarted CI performed %d Ecalls, want %d (certified %d..%d)",
+			ecalls, wantEcalls, ckptHeight+1, minerBestAtRestart+minedAfterRestart)
+	}
+	minerStore := rig.dep.Miner().Store()
+	for h := uint64(1); h <= minerStore.BestHeight(); h++ {
+		blk, err := minerStore.AtHeight(h)
+		if err != nil {
+			t.Fatalf("AtHeight(%d): %v", h, err)
+		}
+		_, ok := ci0.CertFor(blk.Hash())
+		if h < ckptHeight && ok {
+			t.Fatalf("restarted CI holds a certificate for pre-checkpoint height %d", h)
+		}
+		if h >= ckptHeight && !ok {
+			t.Fatalf("certificate chain gap at height %d (checkpoint %d)", h, ckptHeight)
+		}
+	}
+	if ci0.Node().Tip().Hash() != rig.dep.Miner().Tip().Hash() {
+		t.Fatal("restarted CI replica diverged from the miner")
 	}
 	rig.converge(t)
 }

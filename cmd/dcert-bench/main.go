@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dcert-bench [-scale small|paper] [-exp all|params|fig7|fig8|fig9|fig10|fig11|headline|ablation|vendors]
+//	dcert-bench [-scale small|paper] [-exp all|params|fig7|fig8|fig9|fig10|fig11|headline|ablation|vendors|pipeline] [-json path]
 //
 // Output is a set of plain-text tables with the same rows/series the paper
 // plots; EXPERIMENTS.md records a reference run next to the paper's numbers.
@@ -28,7 +28,8 @@ func main() {
 
 func run() error {
 	scaleFlag := flag.String("scale", "small", "experiment scale: small (seconds) or paper (minutes)")
-	expFlag := flag.String("exp", "all", "experiment: all, params, fig7, fig8, fig9, fig10, fig11, headline, ablation, vendors")
+	expFlag := flag.String("exp", "all", "experiment: all, params, fig7, fig8, fig9, fig10, fig11, headline, ablation, vendors, pipeline")
+	jsonFlag := flag.String("json", "", "also write the pipeline experiment result as JSON to this path")
 	flag.Parse()
 
 	scale, err := bench.ParseScale(*scaleFlag)
@@ -105,9 +106,23 @@ func run() error {
 			res.Table().Fprint(os.Stdout)
 			return nil
 		},
+		"pipeline": func() error {
+			res, err := bench.RunPipeline(scale)
+			if err != nil {
+				return err
+			}
+			res.Table().Fprint(os.Stdout)
+			if *jsonFlag != "" {
+				if err := res.WriteJSON(*jsonFlag); err != nil {
+					return err
+				}
+				fmt.Printf("  wrote %s\n", *jsonFlag)
+			}
+			return nil
+		},
 	}
 
-	order := []string{"params", "headline", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "vendors"}
+	order := []string{"params", "headline", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "vendors", "pipeline"}
 	if *expFlag != "all" {
 		r, ok := runners[*expFlag]
 		if !ok {

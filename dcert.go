@@ -67,7 +67,20 @@ type (
 	IndexUpdater = core.IndexUpdater
 	// CostBreakdown decomposes certificate-construction time (Fig. 8).
 	CostBreakdown = core.CostBreakdown
+	// Pipeline is the pipelined certification engine over one issuer.
+	Pipeline = core.Pipeline
+	// PipelineConfig tunes a certification pipeline.
+	PipelineConfig = core.PipelineConfig
+	// PipelineResult is one block's outcome from a pipeline.
+	PipelineResult = core.PipelineResult
+	// PipelineStats reports per-stage busy time and wall clock.
+	PipelineStats = core.PipelineStats
 )
+
+// NewPipeline starts a certification pipeline on an issuer.
+func NewPipeline(ci *Issuer, cfg PipelineConfig) (*Pipeline, error) {
+	return core.NewPipeline(ci, cfg)
+}
 
 // Chain substrate types (package internal/chain).
 type (

@@ -100,6 +100,21 @@ func NewAuthority() (*Authority, error) {
 	if err != nil {
 		return nil, fmt.Errorf("attest: authority key: %w", err)
 	}
+	return buildAuthority(sk)
+}
+
+// NewAuthorityFromSeed creates an authority whose root key is derived
+// deterministically from the seed, so two independently built test rigs share
+// an identical trust anchor (and therefore byte-identical reports).
+func NewAuthorityFromSeed(seed []byte) (*Authority, error) {
+	sk, err := chash.GenerateKeyFromSeed(append([]byte("authority/"), seed...))
+	if err != nil {
+		return nil, fmt.Errorf("attest: authority key: %w", err)
+	}
+	return buildAuthority(sk)
+}
+
+func buildAuthority(sk *chash.PrivateKey) (*Authority, error) {
 	pk, err := sk.Public()
 	if err != nil {
 		return nil, fmt.Errorf("attest: authority key: %w", err)
@@ -120,6 +135,21 @@ func (a *Authority) NewPlatform() (*Platform, error) {
 	if err != nil {
 		return nil, fmt.Errorf("attest: platform key: %w", err)
 	}
+	return a.register(sk)
+}
+
+// NewPlatformFromSeed provisions a platform whose quoting key is derived
+// deterministically from the seed (platform IDs stay sequential per
+// authority, so equal provisioning order gives equal IDs).
+func (a *Authority) NewPlatformFromSeed(seed []byte) (*Platform, error) {
+	sk, err := chash.GenerateKeyFromSeed(append([]byte("platform/"), seed...))
+	if err != nil {
+		return nil, fmt.Errorf("attest: platform key: %w", err)
+	}
+	return a.register(sk)
+}
+
+func (a *Authority) register(sk *chash.PrivateKey) (*Platform, error) {
 	pk, err := sk.Public()
 	if err != nil {
 		return nil, fmt.Errorf("attest: platform key: %w", err)

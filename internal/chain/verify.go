@@ -1,0 +1,70 @@
+package chain
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// VerifyTxs checks every transaction's signature and sender binding (the
+// verify(tx) of Alg. 2 line 19) across the given number of workers.
+// Signature verification is embarrassingly parallel and dominates block
+// validation cost, so this is the primitive both the pipeline's untrusted
+// verify stage and the multi-threaded enclave (multiple TCS) build on.
+//
+// The result is deterministic regardless of worker count: if any
+// transaction fails, the error reported is the one with the lowest index.
+func VerifyTxs(txs []*Transaction, workers int) error {
+	if workers <= 1 || len(txs) < 2 {
+		for i, tx := range txs {
+			if err := tx.Verify(); err != nil {
+				return fmt.Errorf("tx %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	if workers > len(txs) {
+		workers = len(txs)
+	}
+
+	var (
+		next     atomic.Int64 // work queue cursor
+		firstBad atomic.Int64 // lowest failing index + 1 (0 = none)
+		errs     = make([]error, len(txs))
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(txs) {
+					return
+				}
+				// Skip work past an already-known earlier failure.
+				if bad := firstBad.Load(); bad != 0 && int(bad-1) < i {
+					continue
+				}
+				if err := txs[i].Verify(); err != nil {
+					errs[i] = err
+					for {
+						bad := firstBad.Load()
+						if bad != 0 && int(bad-1) <= i {
+							break
+						}
+						if firstBad.CompareAndSwap(bad, int64(i+1)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if bad := firstBad.Load(); bad != 0 {
+		i := int(bad - 1)
+		return fmt.Errorf("tx %d: %w", i, errs[i])
+	}
+	return nil
+}

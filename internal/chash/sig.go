@@ -3,7 +3,9 @@ package chash
 import (
 	"crypto/ecdsa"
 	"crypto/elliptic"
+	"crypto/hmac"
 	"crypto/rand"
+	"crypto/sha256"
 	"crypto/x509"
 	"errors"
 	"fmt"
@@ -41,6 +43,33 @@ func GenerateKey() (*PrivateKey, error) {
 	return &PrivateKey{key: k}, nil
 }
 
+// GenerateKeyFromSeed derives a P-256 key pair deterministically from a seed
+// (hash-chain expansion with rejection sampling over the group order). Two
+// calls with the same seed yield byte-identical keys, which is what lets a
+// pipelined and a sequential issuer produce byte-identical certificates in
+// equivalence tests. Production key generation stays on GenerateKey.
+func GenerateKeyFromSeed(seed []byte) (*PrivateKey, error) {
+	curve := elliptic.P256()
+	n := curve.Params().N
+	h := sha256.New()
+	h.Write([]byte("dcert-seeded-key-v1"))
+	h.Write(seed)
+	buf := h.Sum(nil)
+	d := new(big.Int)
+	for {
+		d.SetBytes(buf)
+		if d.Sign() > 0 && d.Cmp(n) < 0 {
+			break
+		}
+		next := sha256.Sum256(buf)
+		buf = next[:]
+	}
+	priv := &ecdsa.PrivateKey{D: d}
+	priv.Curve = curve
+	priv.X, priv.Y = curve.ScalarBaseMult(d.FillBytes(make([]byte, 32)))
+	return &PrivateKey{key: priv}, nil
+}
+
 // Public returns the public half of the key.
 func (p *PrivateKey) Public() (*PublicKey, error) {
 	der, err := x509.MarshalPKIXPublicKey(&p.key.PublicKey)
@@ -56,8 +85,13 @@ func (p *PrivateKey) Public() (*PublicKey, error) {
 const SignatureSize = 64
 
 // Sign produces a fixed-size raw (r ‖ s) signature over the given digest.
+// Signatures are deterministic (RFC 6979 nonce derivation): the same key and
+// digest always yield the same bytes. Determinism matters twice here — it
+// removes the per-signature entropy dependency an enclave would have to
+// justify, and it makes certificates reproducible, so a pipelined and a
+// sequential certification run can be compared byte for byte.
 func (p *PrivateKey) Sign(digest Hash) ([]byte, error) {
-	r, s, err := ecdsa.Sign(rand.Reader, p.key, digest[:])
+	r, s, err := signRFC6979(p.key, digest)
 	if err != nil {
 		return nil, fmt.Errorf("chash: sign: %w", err)
 	}
@@ -65,6 +99,59 @@ func (p *PrivateKey) Sign(digest Hash) ([]byte, error) {
 	r.FillBytes(sig[:32])
 	s.FillBytes(sig[32:])
 	return sig, nil
+}
+
+// signRFC6979 is deterministic ECDSA per RFC 6979 with HMAC-SHA256, for the
+// P-256 / SHA-256 pairing (qlen = hlen = 256 bits, so bits2int is the plain
+// big-endian interpretation).
+func signRFC6979(priv *ecdsa.PrivateKey, digest Hash) (*big.Int, *big.Int, error) {
+	curve := priv.Curve
+	n := curve.Params().N
+
+	x := priv.D.FillBytes(make([]byte, 32))
+	h1 := new(big.Int).SetBytes(digest[:])
+	hq := new(big.Int).Mod(h1, n).FillBytes(make([]byte, 32)) // bits2octets
+
+	mac := func(key []byte, parts ...[]byte) []byte {
+		m := hmac.New(sha256.New, key)
+		for _, p := range parts {
+			m.Write(p)
+		}
+		return m.Sum(nil)
+	}
+
+	// RFC 6979 §3.2 steps b-g.
+	v := make([]byte, 32)
+	k := make([]byte, 32)
+	for i := range v {
+		v[i] = 0x01
+	}
+	k = mac(k, v, []byte{0x00}, x, hq)
+	v = mac(k, v)
+	k = mac(k, v, []byte{0x01}, x, hq)
+	v = mac(k, v)
+
+	e := new(big.Int).SetBytes(digest[:]) // hash-to-int, no reduction
+	for {
+		v = mac(k, v)
+		kInt := new(big.Int).SetBytes(v)
+		if kInt.Sign() > 0 && kInt.Cmp(n) < 0 {
+			rx, _ := curve.ScalarBaseMult(kInt.FillBytes(make([]byte, 32)))
+			r := new(big.Int).Mod(rx, n)
+			if r.Sign() != 0 {
+				kInv := new(big.Int).ModInverse(kInt, n)
+				s := new(big.Int).Mul(r, priv.D)
+				s.Add(s, e)
+				s.Mul(s, kInv)
+				s.Mod(s, n)
+				if s.Sign() != 0 {
+					return r, s, nil
+				}
+			}
+		}
+		k = mac(k, v, []byte{0x00})
+		v = mac(k, v)
+	}
 }
 
 // ParsePublicKey deserializes a public key previously produced by

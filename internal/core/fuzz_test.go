@@ -3,7 +3,9 @@ package core
 import (
 	"testing"
 
+	"dcert/internal/chain"
 	"dcert/internal/enclave"
+	"dcert/internal/statedb"
 	"dcert/internal/workload"
 )
 
@@ -37,6 +39,94 @@ func FuzzUnmarshalCertificate(f *testing.F) {
 		if err := parsed.Verify(authorityPK, measurement, digest); err == nil {
 			if string(raw) != string(cert.Marshal()) {
 				t.Fatal("a mutated certificate verified")
+			}
+		}
+	})
+}
+
+// FuzzPipelineProof attacks the pipeline's prepare/commit trust boundary:
+// the update proof is computed by the untrusted executor stage and handed to
+// the committer, which feeds it into the enclave. A compromised host could
+// hand over arbitrary bytes there. The property: no matter what proof the
+// enclave is fed, a certificate is only ever signed for the block's true
+// digest — and a rejected proof must leave the replica rolled back to its
+// certified tip with no speculative residue.
+func FuzzPipelineProof(f *testing.F) {
+	// One mined block, reused across every fuzz iteration; each iteration
+	// certifies it on a fresh issuer so state is always pristine genesis.
+	e := newEnv(f, workload.KVStore, enclave.CostModel{})
+	blk := e.mine(f, 6)
+
+	// Seed with the genuine proof (the one honest execution yields), a few
+	// structured mutations of it, and garbage.
+	res, err := e.issuer.Node().State().ExecuteBlock(e.issuer.Node().Registry(), blk.Txs)
+	if err != nil {
+		f.Fatalf("ExecuteBlock: %v", err)
+	}
+	proof, err := e.issuer.Node().State().UpdateProofFor(res)
+	if err != nil {
+		f.Fatalf("UpdateProofFor: %v", err)
+	}
+	genuine := statedb.MarshalUpdateProof(proof)
+	f.Add(genuine)
+	for _, i := range []int{1, len(genuine) / 2, len(genuine) - 2} {
+		mut := append([]byte(nil), genuine...)
+		mut[i] ^= 0xff
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		fuzzed, err := statedb.UnmarshalUpdateProof(raw)
+		if err != nil {
+			return
+		}
+		fresh := newEnv(t, workload.KVStore, enclave.CostModel{})
+		ci := fresh.issuer
+		genesisRoot, err := ci.Node().State().Root()
+		if err != nil {
+			t.Fatalf("Root: %v", err)
+		}
+		results, _ := ci.ProcessBlocksPipelined([]*chain.Block{blk}, PipelineConfig{
+			Workers:   1,
+			proofHook: func(*statedb.UpdateProof) *statedb.UpdateProof { return fuzzed },
+		})
+		if len(results) != 1 {
+			t.Fatalf("%d results", len(results))
+		}
+		root, err := ci.Node().State().Root()
+		if err != nil {
+			t.Fatalf("Root after pipeline: %v", err)
+		}
+		if results[0].Err == nil {
+			// The enclave accepted the proof: the certificate must be for the
+			// block's true digest (never a wrong one), it must verify through
+			// the full attestation chain, and the replica must land exactly
+			// on the block's claimed post-state.
+			cert := results[0].Cert
+			if cert == nil {
+				t.Fatal("nil cert without error")
+			}
+			if cert.Digest != BlockDigest(&blk.Header) {
+				t.Fatalf("certificate signed for digest %s, want %s", cert.Digest, BlockDigest(&blk.Header))
+			}
+			if err := cert.Verify(fresh.authority.PublicKey(), ci.Measurement(), BlockDigest(&blk.Header)); err != nil {
+				t.Fatalf("issued certificate does not verify: %v", err)
+			}
+			if root != blk.Header.StateRoot {
+				t.Fatalf("certified but state root %s != header %s", root, blk.Header.StateRoot)
+			}
+			if ci.Node().Tip().Header.Height != 1 {
+				t.Fatal("certified but tip did not advance")
+			}
+		} else {
+			// Rejected: full rollback — genesis state, genesis tip.
+			if root != genesisRoot {
+				t.Fatalf("rejected proof left state root %s, want genesis %s", root, genesisRoot)
+			}
+			if ci.Node().Tip().Header.Height != 0 {
+				t.Fatal("rejected proof advanced the tip")
 			}
 		}
 	})

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dcert/internal/attest"
 	"dcert/internal/chain"
@@ -23,6 +24,9 @@ type Issuer struct {
 	encl   *enclave.Enclave
 	prog   *TrustedProgram
 	report *attest.Report
+
+	// pipelining guards against two concurrent Pipelines on one issuer.
+	pipelining atomic.Bool
 
 	mu             sync.RWMutex
 	lastCert       *Certificate
@@ -57,12 +61,31 @@ func (c CostBreakdown) Total() float64 {
 // on the given platform, generates its sealed key pair, and obtains the
 // attestation report rep from the authority (§3.3 initialization).
 func NewIssuer(n *node.FullNode, authority *attest.Authority, platform *attest.Platform, cost enclave.CostModel) (*Issuer, error) {
+	return newIssuer(n, authority, platform, cost, nil)
+}
+
+// NewIssuerFromSeed is NewIssuer with a deterministically derived sealed
+// enclave key, for equivalence testing: two issuers built from the same seed
+// (on the same seeded platform/authority) emit byte-identical certificates.
+func NewIssuerFromSeed(n *node.FullNode, authority *attest.Authority, platform *attest.Platform, cost enclave.CostModel, seed []byte) (*Issuer, error) {
+	if len(seed) == 0 {
+		return nil, fmt.Errorf("core: issuer seed must be non-empty")
+	}
+	return newIssuer(n, authority, platform, cost, seed)
+}
+
+func newIssuer(n *node.FullNode, authority *attest.Authority, platform *attest.Platform, cost enclave.CostModel, seed []byte) (*Issuer, error) {
 	genesis, err := n.Store().Get(n.Store().Genesis())
 	if err != nil {
 		return nil, fmt.Errorf("core: issuer genesis: %w", err)
 	}
 	prog := NewTrustedProgram(genesis.Hash(), authority.PublicKey(), n.Params(), n.Registry())
-	encl, err := enclave.New(prog.ID(), platform, cost)
+	var encl *enclave.Enclave
+	if seed != nil {
+		encl, err = enclave.NewFromSeed(prog.ID(), platform, cost, seed)
+	} else {
+		encl, err = enclave.New(prog.ID(), platform, cost)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: issuer enclave: %w", err)
 	}
@@ -137,6 +160,18 @@ func (ci *Issuer) LatestCert() *Certificate {
 	return ci.lastCert
 }
 
+// certifiedTip atomically snapshots the ⟨tip block, tip certificate⟩ pair.
+// Reading the two separately (the pre-pipeline code did) races against a
+// concurrent adopt: the tip can advance between the reads, pairing block i
+// with cert i-1 — which corrupts checkpoints and makes the recursive Ecall
+// verify the wrong predecessor. All readers that need a consistent pair go
+// through here; adopt publishes both under the same lock.
+func (ci *Issuer) certifiedTip() (*chain.Block, *Certificate) {
+	ci.mu.RLock()
+	defer ci.mu.RUnlock()
+	return ci.node.Tip(), ci.lastCert
+}
+
 // newCert assembles a certificate from the enclave's outputs (Alg. 1
 // lines 5-7).
 func (ci *Issuer) newCert(digest chash.Hash, sig []byte) *Certificate {
@@ -183,8 +218,7 @@ func ecallInputSize(prev, blk *chain.Block, prevCert *Certificate, proof *stated
 // breakdown feeds Figs. 8-9.
 func (ci *Issuer) ProcessBlock(blk *chain.Block) (*Certificate, CostBreakdown, error) {
 	var bd CostBreakdown
-	prev := ci.node.Tip()
-	prevCert := ci.LatestCert()
+	prev, prevCert := ci.certifiedTip()
 
 	proof, res, err := ci.prepare(blk, &bd)
 	if err != nil {
@@ -192,9 +226,28 @@ func (ci *Issuer) ProcessBlock(blk *chain.Block) (*Certificate, CostBreakdown, e
 	}
 
 	// Alg. 1 line 4: enter the enclave.
+	sig, err := ci.ecallSigGen(prev, prevCert, blk, proof, &bd)
+	if err != nil {
+		return nil, bd, err
+	}
+
+	// Alg. 1 lines 5-7: assemble cert_i, then advance the CI's replica (it
+	// is a full node; the enclave just established the block's validity).
+	cert := ci.newCert(BlockDigest(&blk.Header), sig)
+	if _, err := ci.node.State().Commit(res.WriteSet); err != nil {
+		return nil, bd, fmt.Errorf("core: advance state: %w", err)
+	}
+	if err := ci.adopt(blk, cert); err != nil {
+		return nil, bd, err
+	}
+	return cert, bd, nil
+}
+
+// ecallSigGen runs the single block-certification Ecall, accounting its cost.
+func (ci *Issuer) ecallSigGen(prev *chain.Block, prevCert *Certificate, blk *chain.Block, proof *statedb.UpdateProof, bd *CostBreakdown) ([]byte, error) {
 	var sig []byte
 	before := ci.encl.Stats()
-	err = ci.encl.Ecall(ecallInputSize(prev, blk, prevCert, proof), func(ctx *enclave.Context) error {
+	err := ci.encl.Ecall(ecallInputSize(prev, blk, prevCert, proof), func(ctx *enclave.Context) error {
 		var err error
 		sig, err = ci.prog.EcallSigGen(ctx, prev, prevCert, blk, proof)
 		return err
@@ -203,21 +256,22 @@ func (ci *Issuer) ProcessBlock(blk *chain.Block) (*Certificate, CostBreakdown, e
 	bd.InsideExec += (after.ExecTime - before.ExecTime).Seconds()
 	bd.InsideOverhead += (after.OverheadTime - before.OverheadTime).Seconds()
 	if err != nil {
-		return nil, bd, fmt.Errorf("core: ecall_sig_gen: %w", err)
+		return nil, fmt.Errorf("core: ecall_sig_gen: %w", err)
 	}
+	return sig, nil
+}
 
-	// Alg. 1 lines 5-7: assemble cert_i.
-	cert := ci.newCert(BlockDigest(&blk.Header), sig)
-
-	// Advance the CI's replica (it is a full node; the enclave just
-	// established the block's validity).
-	if err := ci.advance(blk, res); err != nil {
-		return nil, bd, err
-	}
-
+// adopt appends a certified block to the store and publishes its certificate
+// as one atomic transition, so concurrent readers (Checkpoint, LatestBundle,
+// certifiedTip) can never observe a new tip paired with a stale certificate.
+// The caller has already committed the block's state writes.
+func (ci *Issuer) adopt(blk *chain.Block, cert *Certificate) error {
 	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if _, err := ci.node.Store().Add(blk); err != nil {
+		return fmt.Errorf("core: advance chain: %w", err)
+	}
 	ci.certs[blk.Hash()] = cert
 	ci.lastCert = cert
-	ci.mu.Unlock()
-	return cert, bd, nil
+	return nil
 }

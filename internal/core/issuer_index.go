@@ -66,7 +66,7 @@ func (ci *Issuer) ProcessBlockAugmented(blk *chain.Block, jobs []*IndexJob) ([]*
 	if len(jobs) == 0 {
 		return nil, bd, fmt.Errorf("core: augmented certification needs at least one index")
 	}
-	prev := ci.node.Tip()
+	prev, _ := ci.certifiedTip()
 
 	proof, res, err := ci.prepare(blk, &bd)
 	if err != nil {
@@ -117,8 +117,7 @@ func (ci *Issuer) ProcessBlockAugmented(blk *chain.Block, jobs []*IndexJob) ([]*
 // It returns the block certificate and the index certificates in job order.
 func (ci *Issuer) ProcessBlockHierarchical(blk *chain.Block, jobs []*IndexJob) (*Certificate, []*Certificate, CostBreakdown, error) {
 	var bd CostBreakdown
-	prev := ci.node.Tip()
-	prevBlockCert := ci.LatestCert()
+	prev, prevBlockCert := ci.certifiedTip()
 
 	proof, res, err := ci.prepare(blk, &bd)
 	if err != nil {
@@ -126,71 +125,77 @@ func (ci *Issuer) ProcessBlockHierarchical(blk *chain.Block, jobs []*IndexJob) (
 	}
 
 	// Line 1: gen_cert — the block certificate.
-	var blkSig []byte
-	before := ci.encl.Stats()
-	err = ci.encl.Ecall(ecallInputSize(prev, blk, prevBlockCert, proof), func(ctx *enclave.Context) error {
-		var err error
-		blkSig, err = ci.prog.EcallSigGen(ctx, prev, prevBlockCert, blk, proof)
-		return err
-	})
-	after := ci.encl.Stats()
-	bd.InsideExec += (after.ExecTime - before.ExecTime).Seconds()
-	bd.InsideOverhead += (after.OverheadTime - before.OverheadTime).Seconds()
+	blkSig, err := ci.ecallSigGen(prev, prevBlockCert, blk, proof, &bd)
 	if err != nil {
-		return nil, nil, bd, fmt.Errorf("core: ecall_sig_gen: %w", err)
+		return nil, nil, bd, err
 	}
 	blkCert := ci.newCert(BlockDigest(&blk.Header), blkSig)
 
 	// Lines 2-18: per-index certification against the block certificate.
 	certs := make([]*Certificate, 0, len(jobs))
 	for _, job := range jobs {
-		prevRoot, prevCert := ci.indexState(job.Updater)
-		in := &IndexInput{
-			Updater:  job.Updater,
-			PrevRoot: prevRoot,
-			PrevCert: prevCert,
-			NewRoot:  job.NewRoot,
-			Witness:  job.Witness,
-		}
-		inputSize := len(prev.Header.Marshal()) + len(blk.Header.Marshal()) +
-			blkCert.EncodedSize() + len(job.Witness)
-		if prevCert != nil {
-			inputSize += prevCert.EncodedSize()
-		}
-		var sig []byte
-		before := ci.encl.Stats()
-		err := ci.encl.Ecall(inputSize, func(ctx *enclave.Context) error {
-			var err error
-			sig, err = ci.prog.EcallHierarchicalIndex(ctx, prev, blk, blkCert, in)
-			return err
-		})
-		after := ci.encl.Stats()
-		bd.InsideExec += (after.ExecTime - before.ExecTime).Seconds()
-		bd.InsideOverhead += (after.OverheadTime - before.OverheadTime).Seconds()
+		cert, err := ci.ecallHierarchicalIndex(prev, blk, blkCert, job, &bd)
 		if err != nil {
-			return nil, nil, bd, fmt.Errorf("core: hierarchical ecall (%s): %w", job.Updater, err)
+			return nil, nil, bd, err
 		}
-		certs = append(certs, ci.newCert(IndexDigest(&blk.Header, job.NewRoot), sig))
+		certs = append(certs, cert)
 	}
 
-	if err := ci.advance(blk, res); err != nil {
+	if _, err := ci.node.State().Commit(res.WriteSet); err != nil {
+		return nil, nil, bd, fmt.Errorf("core: advance state: %w", err)
+	}
+	if err := ci.adopt(blk, blkCert); err != nil {
 		return nil, nil, bd, err
 	}
-	ci.mu.Lock()
-	ci.certs[blk.Hash()] = blkCert
-	ci.lastCert = blkCert
-	ci.mu.Unlock()
 	for i, job := range jobs {
 		ci.storeIndexCert(job.Updater, blk.Hash(), job.NewRoot, certs[i])
 	}
 	return blkCert, certs, bd, nil
 }
 
-// advance commits the block's writes and appends it to the CI's store.
+// ecallHierarchicalIndex runs one per-index Ecall of Alg. 5 (the cheap path:
+// verify the block certificate, replay the index update from the enclave-
+// cached write set) and returns the index certificate. Both the sequential
+// hierarchical scheme and the pipeline's index fan-out stage funnel through
+// here; the per-index recursion state is read from the issuer's tracking.
+func (ci *Issuer) ecallHierarchicalIndex(prev, blk *chain.Block, blkCert *Certificate, job *IndexJob, bd *CostBreakdown) (*Certificate, error) {
+	prevRoot, prevCert := ci.indexState(job.Updater)
+	in := &IndexInput{
+		Updater:  job.Updater,
+		PrevRoot: prevRoot,
+		PrevCert: prevCert,
+		NewRoot:  job.NewRoot,
+		Witness:  job.Witness,
+	}
+	inputSize := len(prev.Header.Marshal()) + len(blk.Header.Marshal()) +
+		blkCert.EncodedSize() + len(job.Witness)
+	if prevCert != nil {
+		inputSize += prevCert.EncodedSize()
+	}
+	var sig []byte
+	before := ci.encl.Stats()
+	err := ci.encl.Ecall(inputSize, func(ctx *enclave.Context) error {
+		var err error
+		sig, err = ci.prog.EcallHierarchicalIndex(ctx, prev, blk, blkCert, in)
+		return err
+	})
+	after := ci.encl.Stats()
+	bd.InsideExec += (after.ExecTime - before.ExecTime).Seconds()
+	bd.InsideOverhead += (after.OverheadTime - before.OverheadTime).Seconds()
+	if err != nil {
+		return nil, fmt.Errorf("core: hierarchical ecall (%s): %w", job.Updater, err)
+	}
+	return ci.newCert(IndexDigest(&blk.Header, job.NewRoot), sig), nil
+}
+
+// advance commits the block's writes and appends it to the CI's store (the
+// store append under ci.mu, so tip readers stay consistent with adopt).
 func (ci *Issuer) advance(blk *chain.Block, res *statedb.ExecResult) error {
 	if _, err := ci.node.State().Commit(res.WriteSet); err != nil {
 		return fmt.Errorf("core: advance state: %w", err)
 	}
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
 	if _, err := ci.node.Store().Add(blk); err != nil {
 		return fmt.Errorf("core: advance chain: %w", err)
 	}

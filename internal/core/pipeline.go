@@ -1,0 +1,591 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcert/internal/chain"
+	"dcert/internal/chash"
+	"dcert/internal/consensus"
+	"dcert/internal/statedb"
+)
+
+// Pipelined certificate construction. Alg. 1 is strictly sequential —
+// untrusted prepare, one Ecall, advance — yet only the recursive signature
+// step is order-dependent: everything the host does outside the enclave for
+// block i+1 can run while block i is inside. The Pipeline decomposes
+// gen_cert into four stages over a bounded stream of blocks:
+//
+//	verify   — W workers; the state-independent checks (consensus seal,
+//	           transaction-root, transaction signatures). Signature
+//	           verification dominates block cost and parallelizes freely.
+//	execute  — one goroutine, block order; comp_data_set + get_update_proof
+//	           against the speculative state, then a speculative state
+//	           commit (with an undo record) so block i+1 can execute
+//	           against block i's post-state before i is certified.
+//	commit   — one goroutine, block order; the recursive EcallSigGen (the
+//	           only stage the enclave serializes), then the atomic
+//	           store-append + certificate publication.
+//	index    — hierarchical index certification (Alg. 5) fanned out across
+//	           all registered indexes in parallel per block, reusing the
+//	           enclave write-set cache; ordered per index across blocks.
+//
+// The ordering invariant: exactly one block-certification Ecall is in
+// flight at any time, and blocks enter it in chain order — the recursive
+// certificate chain is identical to the sequential scheme's, byte for byte.
+// Everything ahead of the committer is speculation: if an Ecall fails, the
+// pipeline is aborted, or the host crashes mid-stream, every state commit
+// past the last certified block is rolled back from the undo log (newest
+// first), leaving the replica exactly at its certified tip — which is what
+// makes checkpointed recovery (ResumeIssuer) oblivious to the pipeline.
+
+// Pipeline errors.
+var (
+	// ErrPipelineAborted is reported for blocks discarded because the
+	// pipeline was aborted or an earlier block failed.
+	ErrPipelineAborted = errors.New("core: pipeline aborted")
+	// ErrPipelineClosed is returned by Submit after Close or Abort.
+	ErrPipelineClosed = errors.New("core: pipeline closed")
+	// ErrPipelineBusy is returned when a second pipeline (or a concurrent
+	// sequential certification) is started on an issuer mid-stream.
+	ErrPipelineBusy = errors.New("core: issuer already has an active pipeline")
+)
+
+// PipelineConfig tunes a certification pipeline.
+type PipelineConfig struct {
+	// Workers is the untrusted verify-stage worker count, and doubles as
+	// the enclave thread (TCS) count for in-enclave signature verification.
+	// Default 1.
+	Workers int
+	// Depth bounds the incoming-block channel and therefore how far
+	// speculation may run ahead of certification (default 2×Workers).
+	Depth int
+	// IndexJobs, when set, prepares the hierarchical index-certification
+	// jobs for each certified block from its verified write set. It is
+	// called in block order from the index stage, so implementations may
+	// track per-index recursion state. Nil disables index fan-out.
+	IndexJobs func(blk *chain.Block, writes map[string][]byte) ([]*IndexJob, error)
+
+	// proofHook, when set, substitutes the update proof handed from the
+	// prepare side to the commit side (the trust boundary). Test-only: the
+	// fuzz harness injects adversarial proofs here.
+	proofHook func(proof *statedb.UpdateProof) *statedb.UpdateProof
+}
+
+func (c PipelineConfig) withDefaults() PipelineConfig {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.Depth < 1 {
+		c.Depth = 2 * c.Workers
+	}
+	return c
+}
+
+// PipelineResult is the per-block outcome, delivered in submission order.
+type PipelineResult struct {
+	// Block is the submitted block.
+	Block *chain.Block
+	// Cert is the block certificate (nil on error).
+	Cert *Certificate
+	// IndexCerts are the hierarchical index certificates in job order
+	// (nil without index fan-out).
+	IndexCerts []*Certificate
+	// Breakdown is the per-block cost split. Stage attribution is exact;
+	// under concurrent index fan-out the inside-enclave split may include
+	// overlapping index Ecalls.
+	Breakdown CostBreakdown
+	// Err reports why this block was not certified.
+	Err error
+}
+
+// PipelineStats aggregates per-stage busy time for occupancy accounting.
+type PipelineStats struct {
+	// Blocks is the number certified (errors excluded).
+	Blocks int
+	// VerifyBusy is summed across all verify workers.
+	VerifyBusy time.Duration
+	// ExecBusy, CommitBusy, IndexBusy are single-goroutine stage times.
+	ExecBusy   time.Duration
+	CommitBusy time.Duration
+	IndexBusy  time.Duration
+	// Wall is first-submit to pipeline-drained.
+	Wall time.Duration
+}
+
+// pipeItem is one block moving through the stages.
+type pipeItem struct {
+	blk      *chain.Block
+	verified chan error // capacity 1: verify stage → executor
+	res      *PipelineResult
+	// prepared state, set by the executor:
+	proof  *statedb.UpdateProof
+	writes map[string][]byte
+}
+
+// undoRec can restore the state database to how it was before one block's
+// speculative commit.
+type undoRec struct {
+	blockHash chash.Hash
+	entries   []undoEntry
+}
+
+type undoEntry struct {
+	key     string
+	prior   []byte
+	existed bool
+}
+
+// Pipeline is a running pipelined certification engine over one Issuer.
+type Pipeline struct {
+	ci  *Issuer
+	cfg PipelineConfig
+
+	verifyCh chan *pipeItem
+	orderCh  chan *pipeItem
+	commitCh chan *pipeItem
+	indexCh  chan *pipeItem
+	out      chan *PipelineResult
+
+	// lifeMu serializes Submit against Close (a send on a closed channel
+	// panics). It is the only lock held across a blocking channel send; the
+	// stages never take it, so a Submit stalled on a full pipeline cannot
+	// deadlock them.
+	lifeMu sync.Mutex
+	closed bool
+
+	mu      sync.Mutex
+	undo    []*undoRec // oldest first; entries not yet certified
+	failErr error
+	failed  atomic.Bool
+	started time.Time
+	stats   PipelineStats
+	busy    [4]time.Duration // per-stage busy: verify, exec, commit, index
+
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// NewPipeline starts a certification pipeline on the issuer. The issuer must
+// not be driven by anything else (sequential ProcessBlock calls included)
+// until the pipeline has drained or aborted.
+func NewPipeline(ci *Issuer, cfg PipelineConfig) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	if !ci.pipelining.CompareAndSwap(false, true) {
+		return nil, ErrPipelineBusy
+	}
+	// The enclave verifies transaction signatures on as many TCS entries as
+	// the host runs verify workers.
+	ci.prog.SetParallelism(cfg.Workers)
+
+	pl := &Pipeline{
+		ci:       ci,
+		cfg:      cfg,
+		verifyCh: make(chan *pipeItem, cfg.Depth),
+		orderCh:  make(chan *pipeItem, cfg.Depth),
+		commitCh: make(chan *pipeItem, 1),
+		// The index stage may lag certification; the committer blocks once
+		// the gap approaches the enclave write-cache budget, so cached
+		// write sets are never evicted before their index Ecalls run.
+		indexCh: make(chan *pipeItem, writeCacheLimit-2),
+		out:     make(chan *PipelineResult, cfg.Depth),
+		done:    make(chan struct{}),
+	}
+	pl.started = time.Now()
+
+	for w := 0; w < cfg.Workers; w++ {
+		pl.wg.Add(1)
+		go pl.verifier()
+	}
+	pl.wg.Add(2)
+	go pl.executor()
+	go pl.committer()
+	if cfg.IndexJobs != nil {
+		pl.wg.Add(1)
+		go pl.indexer()
+	}
+	go pl.controller()
+	return pl, nil
+}
+
+// Submit feeds the next block, in chain order. It blocks when the pipeline
+// is Depth blocks ahead of certification.
+func (pl *Pipeline) Submit(blk *chain.Block) error {
+	pl.lifeMu.Lock()
+	defer pl.lifeMu.Unlock()
+	if pl.closed {
+		return ErrPipelineClosed
+	}
+	item := &pipeItem{
+		blk:      blk,
+		verified: make(chan error, 1),
+		res:      &PipelineResult{Block: blk},
+	}
+	// Both sends under the lock: orderCh defines result order, verifyCh
+	// feeds the workers; the two must enqueue identically.
+	pl.orderCh <- item
+	pl.verifyCh <- item
+	return nil
+}
+
+// Close declares the stream complete: already-submitted blocks drain, then
+// Results is closed.
+func (pl *Pipeline) Close() {
+	pl.lifeMu.Lock()
+	defer pl.lifeMu.Unlock()
+	if pl.closed {
+		return
+	}
+	pl.closed = true
+	close(pl.orderCh)
+	close(pl.verifyCh)
+}
+
+// Abort tears the pipeline down mid-stream: in-flight blocks fail with
+// ErrPipelineAborted, every speculative state commit is rolled back, and the
+// issuer is left exactly at its certified tip. It blocks until quiescent.
+// This is the crash path — Kill on a certification plane calls it.
+func (pl *Pipeline) Abort() {
+	pl.fail(ErrPipelineAborted)
+	pl.Close()
+	<-pl.done
+}
+
+// Wait blocks until the pipeline has fully drained (Close or Abort must
+// have been called) and returns the first failure, if any.
+func (pl *Pipeline) Wait() error {
+	<-pl.done
+	return pl.Err()
+}
+
+// Results delivers one PipelineResult per submitted block, in submission
+// order. The channel closes once the pipeline has drained after Close.
+func (pl *Pipeline) Results() <-chan *PipelineResult {
+	return pl.out
+}
+
+// Err returns the first failure (nil while healthy).
+func (pl *Pipeline) Err() error {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.failErr
+}
+
+// Stats snapshots stage accounting. Wall stops ticking once drained.
+func (pl *Pipeline) Stats() PipelineStats {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	s := pl.stats
+	s.VerifyBusy = pl.busy[0]
+	s.ExecBusy = pl.busy[1]
+	s.CommitBusy = pl.busy[2]
+	s.IndexBusy = pl.busy[3]
+	if s.Wall == 0 {
+		s.Wall = time.Since(pl.started)
+	}
+	return s
+}
+
+func (pl *Pipeline) fail(err error) {
+	pl.mu.Lock()
+	if pl.failErr == nil {
+		pl.failErr = err
+	}
+	pl.mu.Unlock()
+	pl.failed.Store(true)
+}
+
+func (pl *Pipeline) addBusy(stage int, d time.Duration) {
+	pl.mu.Lock()
+	pl.busy[stage] += d
+	pl.mu.Unlock()
+}
+
+// verifier is the stateless stage: anything checkable without the state
+// database, fanned across Workers goroutines.
+func (pl *Pipeline) verifier() {
+	defer pl.wg.Done()
+	for item := range pl.verifyCh {
+		if pl.failed.Load() {
+			item.verified <- ErrPipelineAborted
+			continue
+		}
+		start := time.Now()
+		err := pl.verifyStateless(item.blk)
+		pl.addBusy(0, time.Since(start))
+		item.verified <- err
+	}
+}
+
+func (pl *Pipeline) verifyStateless(blk *chain.Block) error {
+	if err := consensus.Verify(pl.ci.node.Params(), &blk.Header); err != nil {
+		return err
+	}
+	if err := blk.VerifyTxRoot(); err != nil {
+		return err
+	}
+	if err := chain.VerifyTxs(blk.Txs, 1); err != nil {
+		return fmt.Errorf("core: pipeline verify: %w", err)
+	}
+	return nil
+}
+
+// executor is the speculative untrusted stage: execution, proof generation,
+// undo capture, and the speculative state commit, strictly in block order.
+func (pl *Pipeline) executor() {
+	defer pl.wg.Done()
+	defer close(pl.commitCh)
+	specTip, _ := pl.ci.certifiedTip()
+	for item := range pl.orderCh {
+		verr := <-item.verified
+		if pl.failed.Load() {
+			item.res.Err = pl.abortErr()
+			pl.commitCh <- item
+			continue
+		}
+		if verr != nil {
+			item.res.Err = verr
+			pl.fail(verr)
+			pl.commitCh <- item
+			continue
+		}
+		start := time.Now()
+		err := pl.executeSpeculative(specTip, item)
+		pl.addBusy(1, time.Since(start))
+		if err != nil {
+			item.res.Err = err
+			pl.fail(err)
+		} else {
+			specTip = item.blk
+		}
+		pl.commitCh <- item
+	}
+}
+
+// executeSpeculative runs Alg. 1 lines 2-3 for one block on top of the
+// speculative state, then commits its writes under an undo record.
+func (pl *Pipeline) executeSpeculative(specTip *chain.Block, item *pipeItem) error {
+	blk := item.blk
+	if blk.Header.PrevHash != specTip.Header.Hash() || blk.Header.Height != specTip.Header.Height+1 {
+		return fmt.Errorf("%w: block %d (%s) does not extend pipeline tip %d (%s)",
+			chain.ErrBadBlock, blk.Header.Height, blk.Hash(), specTip.Header.Height, specTip.Hash())
+	}
+	state := pl.ci.node.State()
+	execTimer := startTimer()
+	res, err := state.ExecuteBlockPreverified(pl.ci.node.Registry(), blk.Txs)
+	if err != nil {
+		return fmt.Errorf("core: comp_data_set: %w", err)
+	}
+	item.res.Breakdown.OutsideExec += execTimer()
+
+	proofTimer := startTimer()
+	proof, err := state.UpdateProofFor(res)
+	if err != nil {
+		return fmt.Errorf("core: get_update_proof: %w", err)
+	}
+	item.res.Breakdown.OutsideProof += proofTimer()
+	if pl.cfg.proofHook != nil {
+		proof = pl.cfg.proofHook(proof)
+	}
+
+	// Capture the undo record before mutating anything, then commit the
+	// writes speculatively so the next block executes on this post-state.
+	rec := &undoRec{blockHash: blk.Hash(), entries: make([]undoEntry, 0, len(res.WriteSet))}
+	for k := range res.WriteSet {
+		prior, err := state.Get([]byte(k))
+		if err != nil {
+			return fmt.Errorf("core: undo capture %q: %w", k, err)
+		}
+		rec.entries = append(rec.entries, undoEntry{key: k, prior: prior, existed: prior != nil})
+	}
+	if _, err := state.Commit(res.WriteSet); err != nil {
+		return fmt.Errorf("core: speculative commit: %w", err)
+	}
+	pl.mu.Lock()
+	pl.undo = append(pl.undo, rec)
+	pl.mu.Unlock()
+
+	item.proof = proof
+	item.writes = res.WriteSet
+	return nil
+}
+
+// committer drains prepared blocks through the one-at-a-time recursive
+// Ecall, then atomically adopts block + certificate.
+func (pl *Pipeline) committer() {
+	defer pl.wg.Done()
+	defer close(pl.indexCh)
+	prev, prevCert := pl.ci.certifiedTip()
+	for item := range pl.commitCh {
+		if item.res.Err == nil && !pl.failed.Load() {
+			start := time.Now()
+			err := pl.commitOne(prev, prevCert, item)
+			pl.addBusy(2, time.Since(start))
+			if err != nil {
+				item.res.Err = err
+				pl.fail(err)
+			} else {
+				prev, prevCert = item.blk, item.res.Cert
+				pl.mu.Lock()
+				pl.stats.Blocks++
+				pl.mu.Unlock()
+			}
+		} else if item.res.Err == nil {
+			item.res.Err = pl.abortErr()
+		}
+		if pl.cfg.IndexJobs != nil {
+			pl.indexCh <- item
+		} else {
+			pl.out <- item.res
+		}
+	}
+}
+
+func (pl *Pipeline) commitOne(prev *chain.Block, prevCert *Certificate, item *pipeItem) error {
+	sig, err := pl.ci.ecallSigGen(prev, prevCert, item.blk, item.proof, &item.res.Breakdown)
+	if err != nil {
+		return err
+	}
+	cert := pl.ci.newCert(BlockDigest(&item.blk.Header), sig)
+	if err := pl.ci.adopt(item.blk, cert); err != nil {
+		return err
+	}
+	// The block is certified: its speculative commit is now durable, so its
+	// undo record (always the oldest) retires.
+	pl.mu.Lock()
+	if len(pl.undo) > 0 && pl.undo[0].blockHash == item.blk.Hash() {
+		pl.undo = pl.undo[1:]
+	}
+	pl.mu.Unlock()
+	item.res.Cert = cert
+	return nil
+}
+
+// indexer fans hierarchical index certification out in parallel across the
+// block's indexes (Alg. 5 lines 3-15 per index), in block order across
+// blocks so each index's own certificate recursion stays intact.
+func (pl *Pipeline) indexer() {
+	defer pl.wg.Done()
+	for item := range pl.indexCh {
+		if item.res.Err == nil && !pl.failed.Load() {
+			start := time.Now()
+			err := pl.indexOne(item)
+			pl.addBusy(3, time.Since(start))
+			if err != nil {
+				item.res.Err = err
+				pl.fail(err)
+			}
+		}
+		pl.out <- item.res
+	}
+}
+
+func (pl *Pipeline) indexOne(item *pipeItem) error {
+	jobs, err := pl.cfg.IndexJobs(item.blk, item.writes)
+	if err != nil {
+		return fmt.Errorf("core: pipeline index jobs: %w", err)
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	prev, err := pl.ci.node.Store().Get(item.blk.Header.PrevHash)
+	if err != nil {
+		return fmt.Errorf("core: pipeline index prev: %w", err)
+	}
+	certs := make([]*Certificate, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job *IndexJob) {
+			defer wg.Done()
+			var bd CostBreakdown
+			cert, err := pl.ci.ecallHierarchicalIndex(prev, item.blk, item.res.Cert, job, &bd)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			certs[i] = cert
+			pl.ci.storeIndexCert(job.Updater, item.blk.Hash(), job.NewRoot, cert)
+		}(i, job)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	item.res.IndexCerts = certs
+	return nil
+}
+
+// controller waits for the stages, rolls back any uncertified speculation,
+// and closes the result stream.
+func (pl *Pipeline) controller() {
+	pl.wg.Wait()
+	pl.rollback()
+	pl.mu.Lock()
+	pl.stats.Wall = time.Since(pl.started)
+	pl.mu.Unlock()
+	pl.ci.pipelining.Store(false)
+	close(pl.out)
+	close(pl.done)
+}
+
+// rollback undoes every speculative state commit past the certified tip,
+// newest first, restoring the replica to exactly the certified state.
+func (pl *Pipeline) rollback() {
+	pl.mu.Lock()
+	pending := pl.undo
+	pl.undo = nil
+	pl.mu.Unlock()
+	state := pl.ci.node.State()
+	for i := len(pending) - 1; i >= 0; i-- {
+		for _, e := range pending[i].entries {
+			if e.existed {
+				if err := state.Set([]byte(e.key), e.prior); err != nil {
+					panic(fmt.Sprintf("core: pipeline rollback %q: %v", e.key, err))
+				}
+			} else {
+				if err := state.Delete([]byte(e.key)); err != nil {
+					panic(fmt.Sprintf("core: pipeline rollback delete %q: %v", e.key, err))
+				}
+			}
+		}
+	}
+}
+
+func (pl *Pipeline) abortErr() error {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.failErr != nil {
+		return fmt.Errorf("%w: %v", ErrPipelineAborted, pl.failErr)
+	}
+	return ErrPipelineAborted
+}
+
+// ProcessBlocksPipelined certifies a batch of blocks through a pipeline and
+// returns the per-block results in order — the drop-in pipelined counterpart
+// of calling ProcessBlock in a loop (catch-up after recovery uses it).
+func (ci *Issuer) ProcessBlocksPipelined(blks []*chain.Block, cfg PipelineConfig) ([]*PipelineResult, error) {
+	pl, err := NewPipeline(ci, cfg)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for _, blk := range blks {
+			if err := pl.Submit(blk); err != nil {
+				break
+			}
+		}
+		pl.Close()
+	}()
+	results := make([]*PipelineResult, 0, len(blks))
+	for res := range pl.Results() {
+		results = append(results, res)
+	}
+	return results, pl.Err()
+}

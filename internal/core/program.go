@@ -53,13 +53,20 @@ type TrustedProgram struct {
 	reg         *vm.Registry
 	updaters    map[string]IndexUpdater
 
-	// mu guards the enclave-resident write-set cache.
+	// mu guards the enclave-resident write-set cache and the TCS count.
 	mu sync.Mutex
 	// writeCache keeps the verified state write set of recently certified
 	// blocks so hierarchical index certification (Alg. 5) can derive index
 	// write data without re-executing the block. It lives entirely inside
-	// the enclave, so its contents are trusted.
+	// the enclave, so its contents are trusted. cacheOrder tracks insertion
+	// order for FIFO eviction — eviction must be deterministic so a
+	// pipelined and a sequential issuer keep identical cache contents.
 	writeCache map[chash.Hash]map[string][]byte
+	cacheOrder []chash.Hash
+	// parallelism is the number of enclave threads (TCS entries) available
+	// to blk_verify_t for transaction-signature verification. 1 = the
+	// paper's single-threaded enclave.
+	parallelism int
 }
 
 // NewTrustedProgram builds the trusted program for a chain.
@@ -77,6 +84,33 @@ func NewTrustedProgram(genesis chash.Hash, authorityPK *chash.PublicKey, params 
 // ID returns the program identity bytes (measured by the enclave).
 func (p *TrustedProgram) ID() []byte {
 	return ProgramID(p.genesis, p.authorityPK, p.params)
+}
+
+// SetParallelism declares how many enclave threads (TCS entries) the trusted
+// program may use for transaction-signature verification inside
+// blk_verify_t. SGX enclaves are multi-threadable by provisioning multiple
+// TCS pages; signature checks are data-independent, so they parallelize
+// without changing any verified output. Values below 1 are treated as 1.
+// The thread count is scratch configuration, not program identity: it does
+// not alter the measurement, exactly as a TCS count does not alter
+// MRENCLAVE's code pages.
+func (p *TrustedProgram) SetParallelism(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	p.parallelism = n
+}
+
+// Parallelism reports the configured enclave thread count.
+func (p *TrustedProgram) Parallelism() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.parallelism < 1 {
+		return 1
+	}
+	return p.parallelism
 }
 
 // RegisterUpdater adds index-update logic to the program. In a real
@@ -119,8 +153,21 @@ func (p *TrustedProgram) blkVerifyT(prev, blk *chain.Block, proof *statedb.Updat
 		return nil, err
 	}
 	// Lines 17-23: read-set verification, re-execution, write-set
-	// verification, and state-root update, all against the witness.
-	newRoot, writes, err := replayWithWrites(prev.Header.StateRoot, proof, p.reg, blk.Txs)
+	// verification, and state-root update, all against the witness. With
+	// more than one enclave thread the signature checks run first across
+	// all TCS entries, then the (inherently sequential) stateful replay
+	// skips them.
+	var newRoot chash.Hash
+	var writes map[string][]byte
+	var err error
+	if tcs := p.Parallelism(); tcs > 1 {
+		if err = chain.VerifyTxs(blk.Txs, tcs); err != nil {
+			return nil, fmt.Errorf("%w: %v", statedb.ErrTxInvalid, err)
+		}
+		newRoot, writes, err = statedb.ReplayBlockWithWritesPreverified(prev.Header.StateRoot, proof, p.reg, blk.Txs)
+	} else {
+		newRoot, writes, err = replayWithWrites(prev.Header.StateRoot, proof, p.reg, blk.Txs)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -271,14 +318,20 @@ const writeCacheLimit = 4
 func (p *TrustedProgram) cacheWrites(blockHash chash.Hash, writes map[string][]byte) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.writeCache) >= writeCacheLimit {
-		// Evict arbitrarily: only the most recent block's set is ever needed.
-		for h := range p.writeCache {
-			delete(p.writeCache, h)
-			break
-		}
+	if _, ok := p.writeCache[blockHash]; ok {
+		return
+	}
+	// FIFO eviction: the oldest certified block's set goes first. The
+	// pipeline's index stage may lag block certification by a few blocks,
+	// so eviction order must be deterministic — map-iteration eviction
+	// could drop the set an in-flight index Ecall is about to need.
+	for len(p.cacheOrder) >= writeCacheLimit {
+		oldest := p.cacheOrder[0]
+		p.cacheOrder = p.cacheOrder[1:]
+		delete(p.writeCache, oldest)
 	}
 	p.writeCache[blockHash] = writes
+	p.cacheOrder = append(p.cacheOrder, blockHash)
 }
 
 func (p *TrustedProgram) lookupWrites(blockHash chash.Hash) (map[string][]byte, bool) {

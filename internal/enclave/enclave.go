@@ -126,12 +126,28 @@ type Enclave struct {
 // (its measurement is the digest of programID) on the given platform. A
 // fresh key pair (sk_enc, pk_enc) is generated inside; sk_enc never leaves.
 func New(programID []byte, platform *attest.Platform, cost CostModel) (*Enclave, error) {
-	if platform == nil {
-		return nil, fmt.Errorf("enclave: nil platform")
-	}
 	sk, err := chash.GenerateKey()
 	if err != nil {
 		return nil, fmt.Errorf("enclave: generate sealed key: %w", err)
+	}
+	return build(programID, platform, cost, sk)
+}
+
+// NewFromSeed is New with a deterministically derived sealed key. Two
+// enclaves built from the same seed sign identically — the handle that lets
+// equivalence tests compare a pipelined and a sequential issuer byte for
+// byte. The key still never leaves the package.
+func NewFromSeed(programID []byte, platform *attest.Platform, cost CostModel, seed []byte) (*Enclave, error) {
+	sk, err := chash.GenerateKeyFromSeed(append([]byte("enclave/"), seed...))
+	if err != nil {
+		return nil, fmt.Errorf("enclave: generate sealed key: %w", err)
+	}
+	return build(programID, platform, cost, sk)
+}
+
+func build(programID []byte, platform *attest.Platform, cost CostModel, sk *chash.PrivateKey) (*Enclave, error) {
+	if platform == nil {
+		return nil, fmt.Errorf("enclave: nil platform")
 	}
 	pk, err := sk.Public()
 	if err != nil {

@@ -76,6 +76,16 @@ func (s *smtState) get(key []byte) ([]byte, error) {
 	return s.values[string(key)], nil
 }
 
+// del removes a key: the leaf digest returns to the SMT's empty marker
+// (chash.Zero), exactly the absent-key encoding valueDigest uses.
+func (s *smtState) del(key []byte) {
+	if _, ok := s.values[string(key)]; !ok {
+		return
+	}
+	delete(s.values, string(key))
+	s.tree.Put(smt.KeyFromBytes(key), chash.Zero)
+}
+
 func (s *smtState) set(key, value []byte) error {
 	if len(value) == 0 {
 		return fmt.Errorf("statedb: empty value for %q", key)
@@ -124,7 +134,7 @@ func (s *smtState) updateProof(res *ExecResult) (*UpdateProof, error) {
 // replaySMT is the enclave-side SMT replay: verify {r}∪prior against π, re-
 // execute, substitute written leaves, and recompute the root (Alg. 2 lines
 // 17-23 in their original SMT formulation).
-func replaySMT(prevRoot chash.Hash, proof *UpdateProof, reg *vm.Registry, txs []*chain.Transaction) (chash.Hash, map[string][]byte, error) {
+func replaySMT(prevRoot chash.Hash, proof *UpdateProof, reg *vm.Registry, txs []*chain.Transaction, preverified bool) (chash.Hash, map[string][]byte, error) {
 	if proof.SMT == nil {
 		return chash.Zero, nil, fmt.Errorf("%w: missing SMT proof", ErrReadSetMismatch)
 	}
@@ -156,7 +166,7 @@ func replaySMT(prevRoot chash.Hash, proof *UpdateProof, reg *vm.Registry, txs []
 		}
 		return v, nil
 	})
-	if _, err := runTxs(reg, o, txs); err != nil {
+	if _, err := runTxsOpts(reg, o, txs, preverified); err != nil {
 		return chash.Zero, nil, err
 	}
 

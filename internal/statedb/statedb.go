@@ -220,10 +220,19 @@ func checkAndBumpNonce(o *overlay, tx *chain.Transaction) error {
 // contract-level errors revert the single transaction, while infrastructure
 // errors (missing witness nodes) abort.
 func runTxs(reg *vm.Registry, o *overlay, txs []*chain.Transaction) ([]int, error) {
+	return runTxsOpts(reg, o, txs, false)
+}
+
+// runTxsOpts is runTxs with the signature check optionally hoisted out: the
+// pipeline verifies signatures in a parallel stage (or, in the enclave, on
+// multiple TCS) before execution, and must not pay for them twice.
+func runTxsOpts(reg *vm.Registry, o *overlay, txs []*chain.Transaction, preverified bool) ([]int, error) {
 	var reverted []int
 	for i, tx := range txs {
-		if err := tx.Verify(); err != nil {
-			return nil, fmt.Errorf("%w: tx %d: %v", ErrTxInvalid, i, err)
+		if !preverified {
+			if err := tx.Verify(); err != nil {
+				return nil, fmt.Errorf("%w: tx %d: %v", ErrTxInvalid, i, err)
+			}
 		}
 		if err := checkAndBumpNonce(o, tx); err != nil {
 			if errors.Is(err, ErrTxInvalid) {
@@ -250,8 +259,19 @@ func runTxs(reg *vm.Registry, o *overlay, txs []*chain.Transaction) ([]int, erro
 // ExecuteBlock runs the transactions against the committed state without
 // mutating it, returning the read/write sets (comp_data_set, Alg. 1 line 2).
 func (db *DB) ExecuteBlock(reg *vm.Registry, txs []*chain.Transaction) (*ExecResult, error) {
+	return db.executeBlock(reg, txs, false)
+}
+
+// ExecuteBlockPreverified is ExecuteBlock for transactions whose signatures
+// have already been checked (the pipeline's parallel verify stage). Nonce
+// replay protection still runs — it is state-dependent and belongs here.
+func (db *DB) ExecuteBlockPreverified(reg *vm.Registry, txs []*chain.Transaction) (*ExecResult, error) {
+	return db.executeBlock(reg, txs, true)
+}
+
+func (db *DB) executeBlock(reg *vm.Registry, txs []*chain.Transaction, preverified bool) (*ExecResult, error) {
 	o := newOverlay(db.Get)
-	reverted, err := runTxs(reg, o, txs)
+	reverted, err := runTxsOpts(reg, o, txs, preverified)
 	if err != nil {
 		return nil, err
 	}
@@ -266,6 +286,18 @@ func (db *DB) Commit(writes map[string][]byte) (chash.Hash, error) {
 		}
 	}
 	return db.Root()
+}
+
+// Delete removes a key from the state. It exists for speculative-execution
+// rollback: a pipelined issuer commits write sets ahead of certification and
+// must be able to restore keys that did not exist before (deleting an absent
+// key is a no-op).
+func (db *DB) Delete(key []byte) error {
+	if db.kind == BackendSMT {
+		db.smt.del(key)
+		return nil
+	}
+	return db.trie.Delete(key)
 }
 
 // UpdateProof is π_i = ⟨{r}_i, π_r, π_w⟩ from Alg. 1: the declared read set
@@ -341,8 +373,21 @@ func ReplayBlock(prevRoot chash.Hash, proof *UpdateProof, reg *vm.Registry, txs 
 // write set — the DCert trusted program feeds it to index certification
 // (get_index_write_data without re-execution).
 func ReplayBlockWithWrites(prevRoot chash.Hash, proof *UpdateProof, reg *vm.Registry, txs []*chain.Transaction) (chash.Hash, map[string][]byte, error) {
+	return replayBlock(prevRoot, proof, reg, txs, false)
+}
+
+// ReplayBlockWithWritesPreverified is ReplayBlockWithWrites minus the per-
+// transaction signature check, for trusted programs that have already
+// verified all signatures on parallel enclave threads (multiple TCS). The
+// caller vouches for the signatures; everything state-dependent (read-set
+// cross-check, nonces, re-execution, root recomputation) still runs.
+func ReplayBlockWithWritesPreverified(prevRoot chash.Hash, proof *UpdateProof, reg *vm.Registry, txs []*chain.Transaction) (chash.Hash, map[string][]byte, error) {
+	return replayBlock(prevRoot, proof, reg, txs, true)
+}
+
+func replayBlock(prevRoot chash.Hash, proof *UpdateProof, reg *vm.Registry, txs []*chain.Transaction, preverified bool) (chash.Hash, map[string][]byte, error) {
 	if proof.Kind == BackendSMT {
-		return replaySMT(prevRoot, proof, reg, txs)
+		return replaySMT(prevRoot, proof, reg, txs, preverified)
 	}
 	pt := mpt.NewPartial(prevRoot, proof.Witness)
 
@@ -361,7 +406,7 @@ func ReplayBlockWithWrites(prevRoot chash.Hash, proof *UpdateProof, reg *vm.Regi
 	// Re-execute transactions; reads resolve through the partial trie, so
 	// any read outside the witness aborts the replay.
 	o := newOverlay(pt.Get)
-	if _, err := runTxs(reg, o, txs); err != nil {
+	if _, err := runTxsOpts(reg, o, txs, preverified); err != nil {
 		return chash.Zero, nil, err
 	}
 
