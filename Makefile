@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 chaos fmt vet bench bench-json clean
+.PHONY: all tier1 tier2 chaos fmt vet bench bench-state bench-json clean
 
 all: tier1
 
@@ -37,9 +37,16 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Pipeline throughput experiment with a machine-readable artifact.
+# State-layer hashing microbenchmarks (allocs/op for the hashing core and the
+# Merkle commit paths). Compare against the seed numbers in EXPERIMENTS.md.
+bench-state:
+	$(GO) test -run='^$$' -bench='Sum|Node|Leaf|Multiproof|TrieCommit|MHTBuild' \
+		-benchmem ./internal/chash/ ./internal/smt/ ./internal/mpt/ ./internal/mht/
+
+# Throughput experiments with machine-readable artifacts.
 bench-json:
 	$(GO) run ./cmd/dcert-bench -exp pipeline -json BENCH_pipeline.json
+	$(GO) run ./cmd/dcert-bench -exp state -json BENCH_state.json
 
 clean:
 	$(GO) clean ./...

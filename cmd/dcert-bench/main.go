@@ -4,16 +4,21 @@
 //
 // Usage:
 //
-//	dcert-bench [-scale small|paper] [-exp all|params|fig7|fig8|fig9|fig10|fig11|headline|ablation|vendors|pipeline] [-json path]
+//	dcert-bench [-scale small|paper] [-exp all|params|fig7|fig8|fig9|fig10|fig11|headline|ablation|vendors|pipeline|state] [-json path]
+//	            [-cpuprofile path] [-memprofile path]
 //
 // Output is a set of plain-text tables with the same rows/series the paper
 // plots; EXPERIMENTS.md records a reference run next to the paper's numbers.
+// The profile flags capture pprof data over the selected experiments, for
+// digging into hashing hot spots found by -exp state.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dcert/internal/bench"
@@ -28,13 +33,41 @@ func main() {
 
 func run() error {
 	scaleFlag := flag.String("scale", "small", "experiment scale: small (seconds) or paper (minutes)")
-	expFlag := flag.String("exp", "all", "experiment: all, params, fig7, fig8, fig9, fig10, fig11, headline, ablation, vendors, pipeline")
-	jsonFlag := flag.String("json", "", "also write the pipeline experiment result as JSON to this path")
+	expFlag := flag.String("exp", "all", "experiment: all, params, fig7, fig8, fig9, fig10, fig11, headline, ablation, vendors, pipeline, state")
+	jsonFlag := flag.String("json", "", "also write the pipeline/state experiment result as JSON to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this path")
 	flag.Parse()
 
 	scale, err := bench.ParseScale(*scaleFlag)
 	if err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dcert-bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap counters before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dcert-bench: memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	runners := map[string]func() error{
@@ -120,9 +153,23 @@ func run() error {
 			}
 			return nil
 		},
+		"state": func() error {
+			res, err := bench.RunState(scale)
+			if err != nil {
+				return err
+			}
+			res.Table().Fprint(os.Stdout)
+			if *jsonFlag != "" {
+				if err := res.WriteJSON(*jsonFlag); err != nil {
+					return err
+				}
+				fmt.Printf("  wrote %s\n", *jsonFlag)
+			}
+			return nil
+		},
 	}
 
-	order := []string{"params", "headline", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "vendors", "pipeline"}
+	order := []string{"params", "headline", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "vendors", "pipeline", "state"}
 	if *expFlag != "all" {
 		r, ok := runners[*expFlag]
 		if !ok {

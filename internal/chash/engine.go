@@ -1,0 +1,94 @@
+package chash
+
+import (
+	"crypto/sha256"
+	"hash"
+	"sync"
+)
+
+// The hashing engine behind Sum/Leaf/Node. Every Merkle structure in the
+// repository funnels through these three entry points, so their cost sets the
+// floor for certification throughput (the paper's §6 numbers are dominated by
+// exactly this loop, inside and outside the enclave).
+//
+// Two fast paths keep the steady state allocation-free:
+//
+//   - Preimages up to inlineMax bytes (every Node, every Leaf over typical
+//     state values) are assembled in a stack buffer and hashed with the
+//     single-shot sha256.Sum256, avoiding both the hash.Hash interface
+//     dispatch and any heap traffic.
+//   - Larger preimages stream through a sync.Pool of reusable SHA-256 states
+//     with preallocated domain/sum scratch, so no per-call state allocation
+//     survives warm-up.
+//
+// Outputs are byte-identical to the original sha256.New()-per-call
+// implementation (golden_test.go pins them): both hash the domain byte
+// followed by the concatenated parts.
+
+// inlineMax is the largest preimage hashed via the stack-buffer single-shot
+// path. It covers the dominant shapes: interior nodes (1+64 bytes), header
+// and certificate digests, and small state values.
+const inlineMax = 256
+
+// engine is a pooled streaming SHA-256 state. The scratch fields live beside
+// the state so that no per-call temporary escapes to the heap.
+type engine struct {
+	h   hash.Hash
+	dom [1]byte
+	sum [Size]byte
+}
+
+var engines = sync.Pool{
+	New: func() any {
+		return &engine{h: sha256.New()}
+	},
+}
+
+// sumParts hashes d || parts[0] || parts[1] || ... choosing the fast path by
+// total preimage size.
+func sumParts(d Domain, parts ...[]byte) Hash {
+	total := 1
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total <= inlineMax {
+		var buf [inlineMax]byte
+		buf[0] = byte(d)
+		n := 1
+		for _, p := range parts {
+			n += copy(buf[n:], p)
+		}
+		return sha256.Sum256(buf[:n])
+	}
+	e := engines.Get().(*engine)
+	e.h.Reset()
+	e.dom[0] = byte(d)
+	e.h.Write(e.dom[:])
+	for _, p := range parts {
+		e.h.Write(p)
+	}
+	e.h.Sum(e.sum[:0])
+	out := Hash(e.sum)
+	engines.Put(e)
+	return out
+}
+
+// sumOne is sumParts for the common single-part case, avoiding the variadic
+// slice on hot call sites (Leaf, single-buffer Sum callers routed here).
+func sumOne(d Domain, p []byte) Hash {
+	if len(p) < inlineMax {
+		var buf [inlineMax]byte
+		buf[0] = byte(d)
+		n := 1 + copy(buf[1:], p)
+		return sha256.Sum256(buf[:n])
+	}
+	e := engines.Get().(*engine)
+	e.h.Reset()
+	e.dom[0] = byte(d)
+	e.h.Write(e.dom[:])
+	e.h.Write(p)
+	e.h.Sum(e.sum[:0])
+	out := Hash(e.sum)
+	engines.Put(e)
+	return out
+}

@@ -1,0 +1,84 @@
+package chash
+
+import "testing"
+
+// Golden digest vectors. Certificates are recursive signatures over these
+// digests, so the hashing core must stay byte-identical across rewrites: any
+// optimization that changes a single output byte breaks every certificate
+// chain ever issued. The vectors were generated from the original
+// sha256.New()-per-call implementation and pin the pooled/single-shot engine
+// (and any future change) to the same outputs.
+func TestGoldenSumPerDomain(t *testing.T) {
+	vectors := []struct {
+		domain Domain
+		want   string
+	}{
+		{DomainLeaf, "6b07b8abaac5e4cb67964afb91f0baae6f2bf41c2173b9c9c5080dd66cec61a9"},
+		{DomainNode, "5bdc6d9325cbd248e260f3d8150fb78491abd97b82c83daf73a4e31e5bc74ce4"},
+		{DomainHeader, "ec18e8c6a1a9d42becfb0f10a44b740d4a56ea759cde309818fe546636654919"},
+		{DomainTx, "650cd11c1234015fefbb5a8801a7c9d6bd42a337dd1096e2254eccfbdbebab18"},
+		{DomainState, "25a6a05d941dde1508e1d6142081b4b839fa6e34662edbb8214663b050dc2225"},
+		{DomainCert, "f1a54bc115488b9b948e5c4d33d8c65d556376d54487ab391e16b498198e6721"},
+		{DomainQuote, "4fc41467de106ba40b3fc55c21843df0cf9207742cc69ecd6840b5d37cfab2db"},
+		{DomainReport, "26befa30511b109f1c37a1e4659ae5376db2a9d4489572331f91c9691282f22e"},
+		{DomainIndex, "0afb636269dd3286772f85c1086009125a0b4724eca7373a7691c5b9038107ce"},
+		{DomainConsensus, "88b7412fdce58f3eedfc5b0689837c3bda0913824860ff028fe39042ae66fd26"},
+	}
+	for _, v := range vectors {
+		t.Run(v.domain.String(), func(t *testing.T) {
+			got := Sum(v.domain, []byte("dcert golden "), []byte(v.domain.String()))
+			if got.Hex() != v.want {
+				t.Fatalf("Sum(%s, ...) = %s, want %s", v.domain, got.Hex(), v.want)
+			}
+		})
+	}
+}
+
+func TestGoldenShapes(t *testing.T) {
+	a := Leaf([]byte("a"))
+	b := Leaf([]byte("b"))
+	vectors := []struct {
+		name string
+		got  Hash
+		want string
+	}{
+		{"sum-empty", Sum(DomainLeaf), "4bf5122f344554c53bde2ebb8cd2b7e3d1600ad631c385a5d7cce23c7785459a"},
+		{"sum-bytes", SumBytes([]byte("dcert golden raw")), "97d42e10106914afac0d79b350b4e6fd9c39888d7063778c93549fd06d9aa86c"},
+		{"leaf", Leaf([]byte("dcert golden leaf")), "6b07b8abaac5e4cb67964afb91f0baae6f2bf41c2173b9c9c5080dd66cec61a9"},
+		{"node", Node(a, b), "ddf7d5e743e693e9a9bde3c22082fc8776c215616943488c9ae75affcd91dbca"},
+		// Node(Zero, Zero) is the height-1 empty-subtree default shared by
+		// every SMT depth.
+		{"node-zero", Node(Zero, Zero), "977c6d24ff2b851777af4dce0615e547112c6c0128a37338b3a1db9d055fff09"},
+	}
+	for _, v := range vectors {
+		if v.got.Hex() != v.want {
+			t.Fatalf("%s = %s, want %s", v.name, v.got.Hex(), v.want)
+		}
+	}
+}
+
+// TestGoldenSumConcat pins the (intentional) concatenation semantics of Sum:
+// parts are hashed back-to-back with no per-part framing, so callers that
+// need injective encodings length-prefix via chash.Encoder before hashing.
+func TestGoldenSumConcat(t *testing.T) {
+	one := Sum(DomainTx, []byte("dcert golden concat"))
+	two := Sum(DomainTx, []byte("dcert golden "), []byte("concat"))
+	if one != two {
+		t.Fatalf("Sum must concatenate parts: %s != %s", one, two)
+	}
+}
+
+// TestSumMatchesStreaming cross-checks the pooled fast paths against an
+// independently computed digest for a spread of part counts and sizes.
+func TestSumMatchesStreaming(t *testing.T) {
+	for _, size := range []int{0, 1, 31, 32, 55, 64, 100, 1024, 1 << 16} {
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		want := SumBytes(append([]byte{byte(DomainLeaf)}, payload...))
+		if got := Leaf(payload); got != want {
+			t.Fatalf("Leaf(%d bytes) = %s, want %s", size, got, want)
+		}
+	}
+}

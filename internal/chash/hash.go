@@ -71,15 +71,14 @@ func (d Domain) String() string {
 }
 
 // Sum hashes the concatenation of the given byte slices under the domain tag.
+// Parts are concatenated with no per-part framing; callers needing injective
+// encodings length-prefix through Encoder first. The steady state allocates
+// nothing: see engine.go.
 func Sum(d Domain, parts ...[]byte) Hash {
-	h := sha256.New()
-	h.Write([]byte{byte(d)})
-	for _, p := range parts {
-		h.Write(p)
+	if len(parts) == 1 {
+		return sumOne(d, parts[0])
 	}
-	var out Hash
-	h.Sum(out[:0])
-	return out
+	return sumParts(d, parts...)
 }
 
 // SumBytes hashes a single byte slice with no domain tag. It exists for
@@ -91,13 +90,18 @@ func SumBytes(b []byte) Hash {
 
 // Leaf hashes a leaf payload.
 func Leaf(payload []byte) Hash {
-	return Sum(DomainLeaf, payload)
+	return sumOne(DomainLeaf, payload)
 }
 
 // Node hashes two child digests into an interior-node digest
-// (h = H(left || right), Fig. 1 of the paper).
+// (h = H(left || right), Fig. 1 of the paper). This is the Merkle inner loop
+// — one stack buffer, one single-shot compression, zero allocations.
 func Node(left, right Hash) Hash {
-	return Sum(DomainNode, left[:], right[:])
+	var buf [1 + 2*Size]byte
+	buf[0] = byte(DomainNode)
+	copy(buf[1:1+Size], left[:])
+	copy(buf[1+Size:], right[:])
+	return sha256.Sum256(buf[:])
 }
 
 // IsZero reports whether the hash is the all-zero sentinel.

@@ -1,0 +1,51 @@
+package mht
+
+import (
+	"fmt"
+	"testing"
+
+	"dcert/internal/chash"
+)
+
+func benchLeaves(n int) [][]byte {
+	leaves := make([][]byte, n)
+	for i := range leaves {
+		leaves[i] = []byte(fmt.Sprintf("tx-payload-%08d", i))
+	}
+	return leaves
+}
+
+// BenchmarkMHTBuild measures full tree construction over a block-sized
+// transaction list — the per-block H_tx cost. Leaf digesting and the level
+// reduction both fan out across cores above the parallel threshold.
+func BenchmarkMHTBuild(b *testing.B) {
+	for _, n := range []int{256, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			leaves := benchLeaves(n)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(leaves); err != nil {
+					b.Fatalf("Build: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMHTBuildFromDigests isolates the interior-node reduction (the
+// pure chash.Node loop) from leaf digesting.
+func BenchmarkMHTBuildFromDigests(b *testing.B) {
+	leaves := benchLeaves(4096)
+	digests := make([]chash.Hash, len(leaves))
+	for i, l := range leaves {
+		digests[i] = chash.Leaf(l)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildFromDigests(digests); err != nil {
+			b.Fatalf("BuildFromDigests: %v", err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package mht
+
+import (
+	"fmt"
+	"testing"
+
+	"dcert/internal/chash"
+)
+
+// TestGoldenRoot pins a fixed 7-leaf tree (odd count exercises the zero-hash
+// pairing) to the root the original sequential builder produced: the
+// parallel build must stay byte-identical.
+func TestGoldenRoot(t *testing.T) {
+	leaves := make([][]byte, 7)
+	for i := range leaves {
+		leaves[i] = []byte(fmt.Sprintf("golden-mht-leaf-%d", i))
+	}
+	tr, err := Build(leaves)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	const want = "c655aee5c49876e0dd4a9181587f370e14635db6167b7a456807ddd5827c8319"
+	if got := tr.Root().Hex(); got != want {
+		t.Fatalf("root = %s, want %s", got, want)
+	}
+}
+
+// TestParallelBuildEquivalence compares the (potentially parallel) Build
+// against an inline sequential reference at sizes straddling the parallel
+// threshold, including the above-threshold widths where forEachChunk fans
+// out.
+func TestParallelBuildEquivalence(t *testing.T) {
+	for _, n := range []int{1, 7, parallelBuildMin - 1, parallelBuildMin, 2*parallelBuildMin + 13} {
+		leaves := make([][]byte, n)
+		for i := range leaves {
+			leaves[i] = []byte(fmt.Sprintf("leaf-%d-%d", n, i))
+		}
+		tr, err := Build(leaves)
+		if err != nil {
+			t.Fatalf("Build(%d): %v", n, err)
+		}
+
+		// Sequential reference: same shape rules, plain loops.
+		level := make([]chash.Hash, n)
+		for i, l := range leaves {
+			level[i] = chash.Leaf(l)
+		}
+		for len(level) > 1 {
+			next := make([]chash.Hash, (len(level)+1)/2)
+			for i := range next {
+				right := chash.Zero
+				if 2*i+1 < len(level) {
+					right = level[2*i+1]
+				}
+				next[i] = chash.Node(level[2*i], right)
+			}
+			level = next
+		}
+		if tr.Root() != level[0] {
+			t.Fatalf("n=%d: parallel root %s != sequential root %s", n, tr.Root(), level[0])
+		}
+	}
+}

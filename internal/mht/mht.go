@@ -13,7 +13,9 @@ package mht
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"dcert/internal/chash"
 )
@@ -35,19 +37,59 @@ type Tree struct {
 	n      int
 }
 
-// Build constructs a tree over the given leaf payloads.
+// parallelBuildMin is the smallest level width worth fanning out across
+// cores: below it, goroutine overhead beats the hashing saved. Block-sized
+// transaction lists (hundreds to thousands of leaves) clear it comfortably.
+const parallelBuildMin = 512
+
+// forEachChunk runs fn over [0, n) — sequentially for small n or single-core
+// hosts, otherwise split into one contiguous chunk per core. Every output
+// index is written by exactly one invocation, so the result is deterministic
+// regardless of scheduling.
+func forEachChunk(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if n < parallelBuildMin || workers < 2 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Build constructs a tree over the given leaf payloads. Leaf digesting fans
+// out across cores for block-sized inputs.
 func Build(leaves [][]byte) (*Tree, error) {
 	if len(leaves) == 0 {
 		return nil, ErrEmptyTree
 	}
 	digests := make([]chash.Hash, len(leaves))
-	for i, leaf := range leaves {
-		digests[i] = chash.Leaf(leaf)
-	}
+	forEachChunk(len(leaves), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			digests[i] = chash.Leaf(leaves[i])
+		}
+	})
 	return BuildFromDigests(digests)
 }
 
-// BuildFromDigests constructs a tree over pre-hashed leaf digests.
+// BuildFromDigests constructs a tree over pre-hashed leaf digests. Each
+// level's reduction is independent per output index, so wide levels are
+// combined in parallel; the digests are byte-identical to a sequential
+// build.
 func BuildFromDigests(digests []chash.Hash) (*Tree, error) {
 	if len(digests) == 0 {
 		return nil, ErrEmptyTree
@@ -58,14 +100,17 @@ func BuildFromDigests(digests []chash.Hash) (*Tree, error) {
 	levels := [][]chash.Hash{level}
 	for len(level) > 1 {
 		next := make([]chash.Hash, (len(level)+1)/2)
-		for i := range next {
-			left := level[2*i]
-			right := chash.Zero
-			if 2*i+1 < len(level) {
-				right = level[2*i+1]
+		prev := level
+		forEachChunk(len(next), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				left := prev[2*i]
+				right := chash.Zero
+				if 2*i+1 < len(prev) {
+					right = prev[2*i+1]
+				}
+				next[i] = chash.Node(left, right)
 			}
-			next[i] = chash.Node(left, right)
-		}
+		})
 		levels = append(levels, next)
 		level = next
 	}

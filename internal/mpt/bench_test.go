@@ -53,6 +53,29 @@ func BenchmarkTrieHashAfterWrite(b *testing.B) {
 	}
 }
 
+// BenchmarkTrieCommit measures the post-execution root recomputation that
+// statedb.Commit performs: a block-sized batch of writes lands, then Hash
+// rehashes every dirty subtree. This is the path the parallel commit fans
+// out across cores.
+func BenchmarkTrieCommit(b *testing.B) {
+	tr := populated(b, 10000)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 512; j++ {
+			k := (i*311 + j*17) % 10000
+			if err := tr.Put([]byte(fmt.Sprintf("acct-%08d", k)), []byte(fmt.Sprintf("c%d-%d", i, j))); err != nil {
+				b.Fatalf("Put: %v", err)
+			}
+		}
+		b.StartTimer()
+		if _, err := tr.Hash(); err != nil {
+			b.Fatalf("Hash: %v", err)
+		}
+	}
+}
+
 func BenchmarkWitnessForKeys(b *testing.B) {
 	tr := populated(b, 10000)
 	keys := make([][]byte, 32)

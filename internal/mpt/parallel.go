@@ -1,0 +1,180 @@
+package mpt
+
+import (
+	"runtime"
+	"sync"
+
+	"dcert/internal/chash"
+)
+
+// Parallel dirty-subtree rehash. After a block commits, statedb recomputes
+// the post-state root; on a trie with hundreds of dirty leaves that rehash
+// is pure hash throughput and parallelizes cleanly, because the digest of a
+// disjoint subtree depends only on its own content. The walk fans out at
+// branch nodes within parallelHashLevels of the root, runs each dirty child
+// subtree on a bounded process-wide worker pool, and merges bottom-up —
+// producing exactly the digests a sequential walk computes.
+
+const (
+	// parallelHashLevels is how far below the root Hash keeps fanning out.
+	// Two levels of 16-way branches expose up to 256 independent subtrees,
+	// plenty to saturate any realistic core count.
+	parallelHashLevels = 2
+	// parallelDirtyMin is the minimum number of dirty nodes before the
+	// fan-out pays for its goroutine overhead; smaller rehashes stay on the
+	// caller's goroutine.
+	parallelDirtyMin = 32
+)
+
+// hashSem bounds in-flight subtree hashing goroutines across every trie in
+// the process, so concurrent commits (e.g. pipelined issuers) cannot
+// oversubscribe the host.
+var hashSem = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// dirtyAtLeast reports whether at least min dirty nodes hang below n,
+// walking only dirty regions and stopping as soon as the threshold is met.
+func dirtyAtLeast(n node, min int) bool {
+	return countDirty(n, min) >= min
+}
+
+// countDirty counts dirty nodes under n, short-circuiting at budget.
+func countDirty(n node, budget int) int {
+	if n == nil {
+		return 0
+	}
+	if _, ok := n.cachedHash(); ok {
+		return 0
+	}
+	count := 1
+	switch v := n.(type) {
+	case *extNode:
+		count += countDirty(v.child, budget-count)
+	case *branchNode:
+		for _, c := range v.children {
+			if count >= budget {
+				return count
+			}
+			count += countDirty(c, budget-count)
+		}
+	}
+	return count
+}
+
+// DirtyFanout reports how many independent dirty subtrees sit at the
+// parallel fan-out frontier — the maximum worker count a Hash call can keep
+// busy. The state bench uses it to model multi-core commit throughput from
+// single-threaded measurements.
+func (t *Trie) DirtyFanout() int {
+	return dirtyFanout(t.root, 0)
+}
+
+func dirtyFanout(n node, level int) int {
+	if n == nil {
+		return 0
+	}
+	if _, ok := n.cachedHash(); ok {
+		return 0
+	}
+	if level >= parallelHashLevels {
+		return 1
+	}
+	switch v := n.(type) {
+	case *extNode:
+		return dirtyFanout(v.child, level)
+	case *branchNode:
+		count := 0
+		for _, c := range v.children {
+			count += dirtyFanout(c, level+1)
+		}
+		if count == 0 {
+			return 1
+		}
+		return count
+	default:
+		return 1
+	}
+}
+
+// hashPar is hashRec with bounded fan-out over the top branch levels.
+func (t *Trie) hashPar(n node, level int) (chash.Hash, error) {
+	if h, ok := n.cachedHash(); ok {
+		return h, nil
+	}
+	switch v := n.(type) {
+	case *extNode:
+		// Extensions compress nibble runs; descend without consuming a
+		// fan-out level so a branch right below still parallelizes.
+		if _, err := t.hashPar(v.child, level); err != nil {
+			return chash.Zero, err
+		}
+		raw, err := encodeNode(v)
+		if err != nil {
+			return chash.Zero, err
+		}
+		v.hash = chash.Sum(chash.DomainNode, raw)
+		v.dirty = false
+		return v.hash, nil
+	case *branchNode:
+		if level >= parallelHashLevels {
+			return t.hashRec(v)
+		}
+		if err := t.hashChildren(v, level); err != nil {
+			return chash.Zero, err
+		}
+		raw, err := encodeNode(v)
+		if err != nil {
+			return chash.Zero, err
+		}
+		v.hash = chash.Sum(chash.DomainNode, raw)
+		v.dirty = false
+		return v.hash, nil
+	default:
+		return t.hashRec(n)
+	}
+}
+
+// hashChildren rehashes the dirty children of a branch, spawning a worker
+// per child while pool slots are free and hashing inline otherwise. Children
+// are disjoint subtrees, so workers share nothing; the WaitGroup join makes
+// every child digest visible before the parent encodes them.
+func (t *Trie) hashChildren(v *branchNode, level int) error {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	record := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for _, c := range v.children {
+		if c == nil {
+			continue
+		}
+		if _, ok := c.cachedHash(); ok {
+			continue
+		}
+		select {
+		case hashSem <- struct{}{}:
+			wg.Add(1)
+			go func(c node) {
+				defer wg.Done()
+				defer func() { <-hashSem }()
+				if _, err := t.hashPar(c, level+1); err != nil {
+					record(err)
+				}
+			}(c)
+		default:
+			// Pool saturated: hash on this goroutine instead of queueing,
+			// which also keeps single-core hosts free of fan-out overhead.
+			if _, err := t.hashPar(c, level+1); err != nil {
+				record(err)
+			}
+		}
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,136 @@
+package mpt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dcert/internal/chash"
+)
+
+// TestGoldenTrieRoot pins the trie root for a fixed insert/delete scenario
+// to the digest produced by the original single-threaded implementation:
+// the parallel commit must be byte-identical, since state roots are signed
+// into certificates.
+func TestGoldenTrieRoot(t *testing.T) {
+	tr := New()
+	for i := 0; i < 32; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("golden/key/%02d", i)), []byte(fmt.Sprintf("golden-value-%d", i*i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	for i := 0; i < 32; i += 5 {
+		if err := tr.Delete([]byte(fmt.Sprintf("golden/key/%02d", i))); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	const want = "77d8171d26d84ad8d5a7e6b081081dd584c352f94e04c75b2cea8f04ab91cbab"
+	h, err := tr.Hash()
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	if h.Hex() != want {
+		t.Fatalf("root = %s, want %s", h.Hex(), want)
+	}
+}
+
+// TestParallelHashEquivalence drives two identical tries through randomized
+// insert/update/delete batches, committing one with the parallel Hash and
+// the other with the sequential reference, and asserts the roots agree at
+// every commit point.
+func TestParallelHashEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	par, seq := New(), New()
+	apply := func(key, val []byte, del bool) {
+		for _, tr := range []*Trie{par, seq} {
+			var err error
+			if del {
+				err = tr.Delete(key)
+			} else {
+				err = tr.Put(key, val)
+			}
+			if err != nil {
+				t.Fatalf("mutate: %v", err)
+			}
+		}
+	}
+	for round := 0; round < 6; round++ {
+		batch := 1 << (round + 2) // 4 .. 128 dirty keys spans both sides of parallelDirtyMin
+		for j := 0; j < batch; j++ {
+			k := []byte(fmt.Sprintf("acct-%06d", rng.Intn(2000)))
+			if rng.Intn(5) == 0 {
+				apply(k, nil, true)
+				continue
+			}
+			apply(k, []byte(fmt.Sprintf("v-%d-%d", round, rng.Int63())), false)
+		}
+		hp, err := par.Hash()
+		if err != nil {
+			t.Fatalf("round %d: parallel Hash: %v", round, err)
+		}
+		hs, err := seq.HashSequential()
+		if err != nil {
+			t.Fatalf("round %d: sequential Hash: %v", round, err)
+		}
+		if hp != hs {
+			t.Fatalf("round %d: parallel root %s != sequential root %s", round, hp, hs)
+		}
+	}
+}
+
+// TestParallelHashPartialTrie exercises the fan-out on a witness-backed
+// partial trie: stateless updates must produce the same root whether hashed
+// in parallel or sequentially.
+func TestParallelHashPartialTrie(t *testing.T) {
+	full := New()
+	for i := 0; i < 512; i++ {
+		if err := full.Put([]byte(fmt.Sprintf("acct-%06d", i)), []byte(fmt.Sprintf("bal-%d", i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	root, err := full.Hash()
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	keys := make([][]byte, 64)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("acct-%06d", i*7))
+	}
+	w, err := full.WitnessForKeys(keys)
+	if err != nil {
+		t.Fatalf("WitnessForKeys: %v", err)
+	}
+
+	update := func(hash func(*Trie) (chash.Hash, error)) chash.Hash {
+		t.Helper()
+		pt := NewPartial(root, w)
+		for i, k := range keys {
+			if err := pt.Put(k, []byte(fmt.Sprintf("new-%d", i))); err != nil {
+				t.Fatalf("partial Put: %v", err)
+			}
+		}
+		h, err := hash(pt)
+		if err != nil {
+			t.Fatalf("partial Hash: %v", err)
+		}
+		return h
+	}
+	hp := update((*Trie).Hash)
+	hs := update((*Trie).HashSequential)
+	if hp != hs {
+		t.Fatalf("partial trie: parallel root %s != sequential root %s", hp, hs)
+	}
+	// And both must match re-committing the same writes on the full trie.
+	for i, k := range keys {
+		if err := full.Put(k, []byte(fmt.Sprintf("new-%d", i))); err != nil {
+			t.Fatalf("full Put: %v", err)
+		}
+	}
+	hf, err := full.Hash()
+	if err != nil {
+		t.Fatalf("full Hash: %v", err)
+	}
+	if hf != hp {
+		t.Fatalf("full root %s != partial root %s", hf, hp)
+	}
+}

@@ -338,7 +338,27 @@ func joinPaths(a, b []byte) []byte {
 
 // Hash returns the root digest, recomputing dirty subtrees. The empty trie
 // hashes to chash.Zero.
+//
+// Large dirty regions are rehashed in parallel: the walk fans out at branch
+// nodes near the root onto a process-wide bounded worker pool (see
+// parallel.go). Node digests are position-independent, so the fan-out is
+// deterministic — the root is byte-identical to a sequential rehash.
 func (t *Trie) Hash() (chash.Hash, error) {
+	if t.root == nil {
+		return chash.Zero, nil
+	}
+	// Fan out only when there are cores to fan onto and enough dirty work
+	// to amortize the goroutines; otherwise sequential is strictly faster.
+	if cap(hashSem) >= 2 && dirtyAtLeast(t.root, parallelDirtyMin) {
+		return t.hashPar(t.root, 0)
+	}
+	return t.hashRec(t.root)
+}
+
+// HashSequential is the single-threaded reference implementation of Hash.
+// Benchmarks use it as the parallel commit's baseline, and the equivalence
+// test asserts both produce identical roots.
+func (t *Trie) HashSequential() (chash.Hash, error) {
 	if t.root == nil {
 		return chash.Zero, nil
 	}

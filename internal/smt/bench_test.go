@@ -40,6 +40,31 @@ func BenchmarkProve32(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiproof covers the full enclave-side hash path: proof
+// construction over a 32-key batch plus the root recomputation that
+// verify_mht/update perform. Allocations here are pure overhead on the
+// certification hot loop, so the report tracks them.
+func BenchmarkMultiproof(b *testing.B) {
+	tr, keys := populated(b, 10000)
+	batch := keys[:32]
+	vals := make(map[Key]chash.Hash, len(batch))
+	for _, k := range batch {
+		vals[k] = tr.Get(k)
+	}
+	root := tr.Root()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		proof, err := tr.Prove(batch)
+		if err != nil {
+			b.Fatalf("Prove: %v", err)
+		}
+		if err := proof.Verify(root, vals); err != nil {
+			b.Fatalf("Verify: %v", err)
+		}
+	}
+}
+
 func BenchmarkUpdateRoot32(b *testing.B) {
 	tr, keys := populated(b, 10000)
 	batch := keys[:32]

@@ -1,0 +1,109 @@
+package smt
+
+import (
+	"fmt"
+	"strings"
+
+	"dcert/internal/chash"
+)
+
+// Path is a packed bit-path prefix addressing a node inside the tree: the
+// first Len() bits, MSB-first, of the root-to-node walk. It replaces the
+// '0'/'1' strings the proof code originally used as position identifiers:
+// a Path is a fixed-size comparable value, so it works as a map key and sort
+// key with zero heap traffic on the proof hot path (one string allocation
+// per node per proof, gone).
+//
+// Trailing bits beyond Len() are always zero, which makes == and map-key
+// equality coincide with logical path equality.
+type Path struct {
+	bits [chash.Size]byte
+	n    uint16
+}
+
+// Len returns the number of bits in the path.
+func (p Path) Len() int {
+	return int(p.n)
+}
+
+// Bit returns bit i of the path, MSB-first.
+func (p Path) Bit(i int) byte {
+	return (p.bits[i/8] >> (7 - i%8)) & 1
+}
+
+// Append returns the path extended by one bit. The receiver is unchanged.
+func (p Path) Append(bit byte) Path {
+	if bit != 0 {
+		p.bits[p.n/8] |= 1 << (7 - p.n%8)
+	}
+	p.n++
+	return p
+}
+
+// Compare orders paths exactly like the lexicographic order of their
+// '0'/'1' string forms (the original proof serialization order, which the
+// deterministic wire format preserves): bitwise up to the common length,
+// then shorter-is-smaller.
+func (p Path) Compare(q Path) int {
+	min := p.n
+	if q.n < min {
+		min = q.n
+	}
+	// Whole bytes first; trailing bits beyond each length are zero, but only
+	// the common prefix may be compared bytewise.
+	whole := int(min) / 8
+	for i := 0; i < whole; i++ {
+		if p.bits[i] != q.bits[i] {
+			if p.bits[i] < q.bits[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	for i := whole * 8; i < int(min); i++ {
+		pb, qb := p.Bit(i), q.Bit(i)
+		if pb != qb {
+			if pb < qb {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case p.n < q.n:
+		return -1
+	case p.n > q.n:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the path as a '0'/'1' string — the wire and display form.
+func (p Path) String() string {
+	var b strings.Builder
+	b.Grow(int(p.n))
+	for i := 0; i < int(p.n); i++ {
+		b.WriteByte('0' + p.Bit(i))
+	}
+	return b.String()
+}
+
+// PathFromString parses a '0'/'1' string (the wire form) into a packed path.
+func PathFromString(s string) (Path, error) {
+	if len(s) > MaxDepth {
+		return Path{}, fmt.Errorf("%w: path of %d bits", ErrBadProof, len(s))
+	}
+	var p Path
+	for _, c := range []byte(s) {
+		switch c {
+		case '0':
+			p = p.Append(0)
+		case '1':
+			p = p.Append(1)
+		default:
+			return Path{}, fmt.Errorf("%w: fill position %q", ErrBadProof, s)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,72 @@
+package smt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dcert/internal/chash"
+)
+
+// TestConcurrentProofs is the regression test for the defaultCache data race:
+// the empty-subtree defaults used to live in a lazily-populated global map
+// that proof construction and verification wrote without synchronization —
+// reachable concurrently from the pipeline's parallel verify workers. The
+// defaults are now a read-only table precomputed at init; this test drives
+// proof build/verify and tree construction at several depths from many
+// goroutines so `go test -race` (tier 2) would catch any regression.
+func TestConcurrentProofs(t *testing.T) {
+	base, keys := goldenTree(t)
+	root := base.Root()
+	vals := make(map[Key]chash.Hash, len(keys))
+	for _, k := range keys {
+		vals[k] = base.Get(k)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				// Fresh trees at varying depths hit the defaults table for
+				// every depth concurrently.
+				depth := 1 + (w*20+iter)%MaxDepth
+				tr, err := New(depth)
+				if err != nil {
+					errs <- err
+					return
+				}
+				k := KeyFromString(fmt.Sprintf("w%d-i%d", w, iter))
+				tr.Put(k, chash.Leaf([]byte("v")))
+				mp, err := tr.Prove([]Key{k})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := mp.Verify(tr.Root(), map[Key]chash.Hash{k: tr.Get(k)}); err != nil {
+					errs <- fmt.Errorf("depth %d: %w", depth, err)
+					return
+				}
+
+				// Shared read-only tree: concurrent proof build + verify.
+				mp2, err := base.Prove(keys)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := mp2.Verify(root, vals); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

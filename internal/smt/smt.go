@@ -53,32 +53,39 @@ func (k Key) Bit(i int) byte {
 	return (k[i/8] >> (7 - i%8)) & 1
 }
 
-// Path returns the first depth bits as a '0'/'1' string. Used as the node
-// position identifier inside proofs.
-func (k Key) Path(depth int) string {
-	buf := make([]byte, depth)
-	for i := 0; i < depth; i++ {
-		buf[i] = '0' + k.Bit(i)
+// Path returns the first depth bits of the key as a packed node-position
+// path — the identifier proofs use for the key's leaf slot.
+func (k Key) Path(depth int) Path {
+	p := Path{n: uint16(depth)}
+	whole := depth / 8
+	copy(p.bits[:whole], k[:whole])
+	for i := whole * 8; i < depth; i++ {
+		if k.Bit(i) != 0 {
+			p.bits[i/8] |= 1 << (7 - i%8)
+		}
 	}
-	return string(buf)
+	return p
 }
 
-// defaults[l] is the digest of an empty subtree whose root sits at level l
-// (level depth = leaves, level 0 = tree root). Indexed by level, computed
-// once per depth and shared.
-var defaultCache = map[int][]chash.Hash{}
+// defaultAtHeight[h] is the digest of an empty subtree of height h (h = 0 is
+// an empty leaf). The digest of an empty subtree depends only on its height,
+// so one chain serves every tree depth: a depth-D tree's default at level l
+// is defaultAtHeight[D-l]. Precomputed at init — 256 Node calls — so reads
+// are lock-free and the old lazily-populated per-depth cache (a data race
+// once proof verification went concurrent) is gone entirely.
+var defaultAtHeight [MaxDepth + 1]chash.Hash
 
-func defaultsForDepth(depth int) []chash.Hash {
-	if d, ok := defaultCache[depth]; ok {
-		return d
+func init() {
+	defaultAtHeight[0] = chash.Zero
+	for h := 1; h <= MaxDepth; h++ {
+		defaultAtHeight[h] = chash.Node(defaultAtHeight[h-1], defaultAtHeight[h-1])
 	}
-	d := make([]chash.Hash, depth+1)
-	d[depth] = chash.Zero
-	for l := depth - 1; l >= 0; l-- {
-		d[l] = chash.Node(d[l+1], d[l+1])
-	}
-	defaultCache[depth] = d
-	return d
+}
+
+// defaultAt returns the empty-subtree digest at the given level of a
+// depth-deep tree (level depth = leaves, level 0 = root).
+func defaultAt(depth, level int) chash.Hash {
+	return defaultAtHeight[depth-level]
 }
 
 type node struct {
@@ -91,10 +98,9 @@ type node struct {
 //
 // Tree is not safe for concurrent use; wrap it if shared across goroutines.
 type Tree struct {
-	depth    int
-	root     *node
-	defaults []chash.Hash
-	leaves   map[Key]chash.Hash
+	depth  int
+	root   *node
+	leaves map[Key]chash.Hash
 }
 
 // New creates an empty tree of the given depth.
@@ -103,9 +109,8 @@ func New(depth int) (*Tree, error) {
 		return nil, fmt.Errorf("%w: %d", ErrBadDepth, depth)
 	}
 	return &Tree{
-		depth:    depth,
-		defaults: defaultsForDepth(depth),
-		leaves:   make(map[Key]chash.Hash),
+		depth:  depth,
+		leaves: make(map[Key]chash.Hash),
 	}, nil
 }
 
@@ -122,7 +127,7 @@ func (t *Tree) Len() int {
 // Root returns the current root digest.
 func (t *Tree) Root() chash.Hash {
 	if t.root == nil {
-		return t.defaults[0]
+		return defaultAt(t.depth, 0)
 	}
 	return t.root.hash
 }
@@ -170,7 +175,7 @@ func (t *Tree) update(n *node, level int, key Key, valueHash chash.Hash) *node {
 
 func (t *Tree) childHash(n *node, level int) chash.Hash {
 	if n == nil {
-		return t.defaults[level]
+		return defaultAt(t.depth, level)
 	}
 	return n.hash
 }
@@ -183,9 +188,9 @@ type Multiproof struct {
 	Depth int
 	// Keys is the sorted set of proven keys.
 	Keys []Key
-	// Fills maps a node position (bit-path prefix) to its digest. Positions
-	// absent from Fills are default (empty) subtrees.
-	Fills map[string]chash.Hash
+	// Fills maps a node position (packed bit-path prefix) to its digest.
+	// Positions absent from Fills are default (empty) subtrees.
+	Fills map[Path]chash.Hash
 }
 
 // sortKeys returns a sorted, deduplicated copy of keys.
@@ -212,17 +217,17 @@ func (t *Tree) Prove(keys []Key) (*Multiproof, error) {
 	mp := &Multiproof{
 		Depth: t.depth,
 		Keys:  sortKeys(keys),
-		Fills: make(map[string]chash.Hash),
+		Fills: make(map[Path]chash.Hash),
 	}
-	t.fill(t.root, 0, "", mp.Keys, mp.Fills)
+	t.fill(t.root, 0, Path{}, mp.Keys, mp.Fills)
 	return mp, nil
 }
 
 // fill walks the union of key paths and records off-path sibling digests.
-func (t *Tree) fill(n *node, level int, prefix string, keys []Key, fills map[string]chash.Hash) {
+func (t *Tree) fill(n *node, level int, prefix Path, keys []Key, fills map[Path]chash.Hash) {
 	if len(keys) == 0 {
 		// Off-path subtree: record its digest unless it is the default.
-		if n != nil && n.hash != t.defaults[level] {
+		if n != nil && n.hash != defaultAt(t.depth, level) {
 			fills[prefix] = n.hash
 		}
 		return
@@ -235,8 +240,8 @@ func (t *Tree) fill(n *node, level int, prefix string, keys []Key, fills map[str
 	if n != nil {
 		left, right = n.left, n.right
 	}
-	t.fill(left, level+1, prefix+"0", keys[:split], fills)
-	t.fill(right, level+1, prefix+"1", keys[split:], fills)
+	t.fill(left, level+1, prefix.Append(0), keys[:split], fills)
+	t.fill(right, level+1, prefix.Append(1), keys[split:], fills)
 }
 
 // Verify checks the proof against root for the given key→digest assignment.
@@ -268,23 +273,22 @@ func (mp *Multiproof) ComputeRoot(values map[Key]chash.Hash) (chash.Hash, error)
 			return chash.Zero, fmt.Errorf("%w: missing value for key %x", ErrKeyMismatch, k[:4])
 		}
 	}
-	defaults := defaultsForDepth(mp.Depth)
-	return mp.computeNode(0, "", mp.Keys, values, defaults), nil
+	return mp.computeNode(0, Path{}, mp.Keys, values), nil
 }
 
-func (mp *Multiproof) computeNode(level int, prefix string, keys []Key, values map[Key]chash.Hash, defaults []chash.Hash) chash.Hash {
+func (mp *Multiproof) computeNode(level int, prefix Path, keys []Key, values map[Key]chash.Hash) chash.Hash {
 	if len(keys) == 0 {
 		if h, ok := mp.Fills[prefix]; ok {
 			return h
 		}
-		return defaults[level]
+		return defaultAt(mp.Depth, level)
 	}
 	if level == mp.Depth {
 		return values[keys[0]]
 	}
 	split := sort.Search(len(keys), func(i int) bool { return keys[i].Bit(level) == 1 })
-	left := mp.computeNode(level+1, prefix+"0", keys[:split], values, defaults)
-	right := mp.computeNode(level+1, prefix+"1", keys[split:], values, defaults)
+	left := mp.computeNode(level+1, prefix.Append(0), keys[:split], values)
+	right := mp.computeNode(level+1, prefix.Append(1), keys[split:], values)
 	return chash.Node(left, right)
 }
 
@@ -303,12 +307,14 @@ func (mp *Multiproof) UpdateRoot(oldRoot chash.Hash, oldValues, newValues map[Ke
 func (mp *Multiproof) EncodedSize() int {
 	size := 4 + len(mp.Keys)*chash.Size + 4
 	for prefix := range mp.Fills {
-		size += 4 + len(prefix)/8 + 1 + chash.Size
+		size += 4 + prefix.Len()/8 + 1 + chash.Size
 	}
 	return size
 }
 
-// Marshal serializes the multiproof.
+// Marshal serializes the multiproof. The wire format is unchanged from the
+// string-position era ('0'/'1' position strings, sorted lexicographically),
+// so proofs round-trip byte-identically across the packed-path rewrite.
 func (mp *Multiproof) Marshal() []byte {
 	e := chash.NewEncoder(mp.EncodedSize() + 64)
 	e.PutUint32(uint32(mp.Depth))
@@ -316,15 +322,16 @@ func (mp *Multiproof) Marshal() []byte {
 	for _, k := range mp.Keys {
 		e.PutBytes(k[:])
 	}
-	// Deterministic fill order: sorted by position string.
-	prefixes := make([]string, 0, len(mp.Fills))
+	// Deterministic fill order: Path.Compare matches the lexicographic order
+	// of the position strings the wire format carries.
+	prefixes := make([]Path, 0, len(mp.Fills))
 	for p := range mp.Fills {
 		prefixes = append(prefixes, p)
 	}
-	sort.Strings(prefixes)
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Compare(prefixes[j]) < 0 })
 	e.PutUint32(uint32(len(prefixes)))
 	for _, p := range prefixes {
-		e.PutString(p)
+		e.PutString(p.String())
 		e.PutHash(mp.Fills[p])
 	}
 	return e.Bytes()
@@ -347,7 +354,7 @@ func UnmarshalMultiproof(raw []byte) (*Multiproof, error) {
 	if nKeys > 1<<20 {
 		return nil, fmt.Errorf("smt: unmarshal proof: %d keys", nKeys)
 	}
-	mp := &Multiproof{Depth: int(depth), Fills: make(map[string]chash.Hash)}
+	mp := &Multiproof{Depth: int(depth), Fills: make(map[Path]chash.Hash)}
 	for i := uint32(0); i < nKeys; i++ {
 		kb, err := d.ReadBytes()
 		if err != nil {
@@ -368,17 +375,16 @@ func UnmarshalMultiproof(raw []byte) (*Multiproof, error) {
 		return nil, fmt.Errorf("smt: unmarshal proof: %d fills", nFills)
 	}
 	for i := uint32(0); i < nFills; i++ {
-		p, err := d.ReadString()
+		s, err := d.ReadString()
 		if err != nil {
 			return nil, fmt.Errorf("smt: unmarshal proof fill: %w", err)
 		}
-		for _, c := range p {
-			if c != '0' && c != '1' {
-				return nil, fmt.Errorf("%w: fill position %q", ErrBadProof, p)
-			}
-		}
-		if len(p) > int(depth) {
+		if len(s) > int(depth) {
 			return nil, fmt.Errorf("%w: fill position deeper than tree", ErrBadProof)
+		}
+		p, err := PathFromString(s)
+		if err != nil {
+			return nil, err
 		}
 		h, err := d.ReadHash()
 		if err != nil {

@@ -376,7 +376,41 @@ func TestKeyBitAndPath(t *testing.T) {
 			t.Fatalf("Bit(%d) = %d, want %d", i, k.Bit(i), w)
 		}
 	}
-	if k.Path(4) != "1010" {
-		t.Fatalf("Path(4) = %q", k.Path(4))
+	p := k.Path(4)
+	if p.Len() != 4 || p.String() != "1010" {
+		t.Fatalf("Path(4) = %q (len %d)", p.String(), p.Len())
+	}
+	rt, err := PathFromString("1010")
+	if err != nil {
+		t.Fatalf("PathFromString: %v", err)
+	}
+	if rt != p {
+		t.Fatalf("PathFromString round-trip mismatch: %q vs %q", rt, p)
+	}
+}
+
+// TestPathCompareMatchesStringOrder pins the proof wire format's fill order:
+// Path.Compare must sort exactly like the lexicographic order of the '0'/'1'
+// string forms the original implementation sorted by.
+func TestPathCompareMatchesStringOrder(t *testing.T) {
+	strs := []string{"", "0", "00", "0000000011", "01", "011", "1", "10", "1010", "11", "110"}
+	for i, a := range strs {
+		pa, err := PathFromString(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pa.String() != a {
+			t.Fatalf("round trip %q -> %q", a, pa.String())
+		}
+		for j, b := range strs {
+			pb, _ := PathFromString(b)
+			wantLess := i < j
+			if gotLess := pa.Compare(pb) < 0; gotLess != wantLess {
+				t.Fatalf("Compare(%q, %q) < 0 = %v, want %v", a, b, gotLess, wantLess)
+			}
+			if (pa.Compare(pb) == 0) != (a == b) {
+				t.Fatalf("Compare(%q, %q) equality mismatch", a, b)
+			}
+		}
 	}
 }
