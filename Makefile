@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 chaos fmt vet bench bench-state bench-json clean
+.PHONY: all tier1 tier2 chaos chaos-obs fmt vet bench bench-state bench-json clean
 
 all: tier1
 
@@ -24,6 +24,13 @@ tier2: fmt vet
 # not, so a cached pass proves nothing about the current build.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' -v .
+
+# Chaos with the instrumentation plane attached: asserts the fault fabric's
+# registry counters reconcile exactly with the seeded fault plan's injection
+# ledger (injected drops == counted drops, delivered = published - dropped -
+# partitioned + duplicated).
+chaos-obs:
+	$(GO) test -race -count=1 -run 'TestChaosFaultCounterReconciliation' -v .
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -94,6 +94,11 @@ func (d *Deployment) StartCertPlane(n int) (*CertPlane, error) {
 			ci = extra
 		}
 		name := fmt.Sprintf("ci%d", i)
+		if d.reg != nil && i > 0 {
+			// Slot 0 is the primary, instrumented by EnableObservability;
+			// extra issuers join the same plane under their slot identity.
+			ci.Instrument(d.reg, d.tracer, d.logger, name)
+		}
 		p.slots = append(p.slots, &ciSlot{
 			name:      name,
 			issuer:    ci,
@@ -383,6 +388,12 @@ func (p *CertPlane) Restart(name string) error {
 	ci, err := core.ResumeIssuer(s.node, p.d.authority, platform, p.d.cfg.EnclaveCost, ckpt)
 	if err != nil {
 		return fmt.Errorf("dcert: restart %s: %w", name, err)
+	}
+	if p.d.reg != nil {
+		// Re-instrument under the same slot identity: the registry dedups by
+		// (name, labels), so the resumed issuer continues its predecessor's
+		// series instead of forking new ones.
+		ci.Instrument(p.d.reg, p.d.tracer, p.d.logger, name)
 	}
 	// Catch up: certify the blocks missed while down, continuing the
 	// recursion from the checkpointed certificate. The missed blocks form a

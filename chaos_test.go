@@ -284,3 +284,66 @@ func TestChaosPipelinedCrashRecovery(t *testing.T) {
 	}
 	rig.converge(t)
 }
+
+// TestChaosFaultCounterReconciliation arms the instrumentation plane before
+// a lossy run and asserts the fault fabric's registry counters reconcile
+// exactly with the injection ledger the fault layer keeps for itself: every
+// injected drop/duplicate/reorder is counted, none are invented, and
+// delivered = published - dropped - partitioned + duplicated on every topic.
+func TestChaosFaultCounterReconciliation(t *testing.T) {
+	rig, cleanup := newChaosRig(t, 707, 2, &dcert.FaultPlan{
+		Seed: 707,
+		Rules: []dcert.FaultRule{
+			{Topic: dcert.TopicCerts, Drop: 0.35, Duplicate: 0.35},
+			{Topic: dcert.TopicCertRequests, Drop: 0.3, Duplicate: 0.2},
+			{Topic: dcert.TopicBlocks, Drop: 0.2, Reorder: 0.4, ReorderDelay: 5 * time.Millisecond},
+		},
+	})
+	defer cleanup()
+	// Attach the registry before the first publish so both ledgers observe
+	// the same event stream from the start.
+	reg, _ := rig.dep.EnableObservability(nil)
+
+	for i := 0; i < 12; i++ {
+		if _, err := rig.plane.MineAndBroadcast(5); err != nil {
+			t.Fatalf("MineAndBroadcast(%d): %v", i, err)
+		}
+	}
+	rig.converge(t)
+
+	counter := func(name, topic string) uint64 {
+		return reg.Counter(name, "", dcert.MetricLabel("topic", topic)).Value()
+	}
+	sawFaults := false
+	for _, topic := range []string{dcert.TopicCerts, dcert.TopicCertRequests, dcert.TopicBlocks} {
+		tally := rig.dep.FaultTally(topic)
+		if tally.Published == 0 && topic != dcert.TopicCertRequests {
+			// Cert requests only flow when the follower stalls into catch-up,
+			// so that topic may legitimately stay quiet; blocks and certs
+			// must not.
+			t.Fatalf("topic %s: fault plan observed no publishes", topic)
+		}
+		got := dcert.NetFaultTally{
+			Published:   counter("dcert_net_published_total", topic),
+			Dropped:     counter("dcert_net_dropped_total", topic),
+			Partitioned: counter("dcert_net_partitioned_total", topic),
+			Duplicated:  counter("dcert_net_duplicated_total", topic),
+			Reordered:   counter("dcert_net_reordered_total", topic),
+		}
+		if got != tally {
+			t.Fatalf("topic %s: registry counters %+v != injection ledger %+v", topic, got, tally)
+		}
+		delivered := counter("dcert_net_delivered_total", topic)
+		want := tally.Published - tally.Dropped - tally.Partitioned + tally.Duplicated
+		if delivered != want {
+			t.Fatalf("topic %s: delivered %d, want published-dropped-partitioned+duplicated = %d (%+v)",
+				topic, delivered, want, tally)
+		}
+		if tally.Dropped > 0 || tally.Duplicated > 0 || tally.Reordered > 0 {
+			sawFaults = true
+		}
+	}
+	if !sawFaults {
+		t.Fatal("seeded plan injected no faults at all; reconciliation was vacuous")
+	}
+}

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	dcert-node [-blocks N] [-txs N] [-workload DN|CPU|IO|KV|SB] [-tee sgx|trustzone|multizone|sev] [-interval d]
+//	           [-pipeline W] [-debug-addr host:port] [-linger d]
+//
+// With -debug-addr the node serves its instrumentation plane over HTTP while
+// it runs: /metrics (Prometheus text), /debug/spans, /healthz, and
+// /debug/pprof/. With -pipeline W certification runs through the W-worker
+// pipelined engine, so /metrics carries live per-stage latency histograms.
 package main
 
 import (
@@ -43,6 +49,9 @@ func run() error {
 	workloadFlag := flag.String("workload", "KV", "Blockbench workload: DN, CPU, IO, KV, SB")
 	interval := flag.Duration("interval", 0, "pause between blocks (simulated block interval)")
 	teeFlag := flag.String("tee", "sgx", "TEE vendor profile: sgx, trustzone, multizone, sev")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/spans, /healthz, /debug/pprof on this address")
+	pipeline := flag.Int("pipeline", 0, "certify through the pipelined engine with this many verify workers (0 = sequential)")
+	linger := flag.Duration("linger", 0, "keep the debug server up this long after the run (for scraping)")
 	flag.Parse()
 
 	kind, err := parseWorkload(*workloadFlag)
@@ -70,9 +79,46 @@ func run() error {
 	fmt.Printf("  attestation report:     %d bytes (platform %s)\n",
 		dep.Issuer().Report().EncodedSize(), dep.Issuer().Report().PlatformID)
 
+	logger := dcert.NewLogger(os.Stderr, dcert.LogInfo, dcert.LogF("node", "dcert-node"))
+	if *debugAddr != "" {
+		dep.EnableObservability(logger)
+		dbg, err := dep.StartDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("  debug endpoint:         %s/metrics  /debug/spans  /healthz  /debug/pprof/\n", dbg.URL())
+	}
+
 	client := dep.NewSuperlightClient()
-	for i := 1; i <= *blocks; i++ {
-		blk, cert, err := dep.MineAndCertify(*txs)
+	var runErr error
+	if *pipeline > 0 {
+		runErr = runPipelined(dep, client, *blocks, *txs, *pipeline, *interval)
+	} else {
+		runErr = runSequential(dep, client, *blocks, *txs, *interval)
+	}
+	if runErr != nil {
+		return runErr
+	}
+
+	stats := dep.Issuer().Enclave().Stats()
+	fmt.Printf("\nenclave: %d ecalls, %.1f MB copied in, exec=%v overhead=%v\n",
+		stats.Ecalls, float64(stats.BytesIn)/(1<<20),
+		stats.ExecTime.Round(time.Millisecond), stats.OverheadTime.Round(time.Millisecond))
+	hdr, _ := client.Latest()
+	fmt.Printf("superlight client final state: height=%d storage=%d bytes (constant)\n",
+		hdr.Height, client.StorageSize())
+	if *debugAddr != "" && *linger > 0 {
+		fmt.Printf("debug server up for another %v...\n", *linger)
+		time.Sleep(*linger)
+	}
+	return nil
+}
+
+// runSequential drives the inline certification loop (Alg. 1 per block).
+func runSequential(dep *dcert.Deployment, client *dcert.SuperlightClient, blocks, txs int, interval time.Duration) error {
+	for i := 1; i <= blocks; i++ {
+		blk, cert, err := dep.MineAndCertify(txs)
 		if err != nil {
 			return fmt.Errorf("block %d: %w", i, err)
 		}
@@ -84,17 +130,80 @@ func run() error {
 		fmt.Printf("block %4d  hash=%s  txs=%d  cert=%dB  client-validate=%v  client-storage=%dB\n",
 			blk.Header.Height, blk.Hash(), len(blk.Txs), cert.EncodedSize(),
 			validate.Round(time.Microsecond), client.StorageSize())
-		if *interval > 0 {
-			time.Sleep(*interval)
+		if interval > 0 {
+			time.Sleep(interval)
 		}
 	}
+	return nil
+}
 
-	stats := dep.Issuer().Enclave().Stats()
-	fmt.Printf("\nenclave: %d ecalls, %.1f MB copied in, exec=%v overhead=%v\n",
-		stats.Ecalls, float64(stats.BytesIn)/(1<<20),
-		stats.ExecTime.Round(time.Millisecond), stats.OverheadTime.Round(time.Millisecond))
-	hdr, _ := client.Latest()
-	fmt.Printf("superlight client final state: height=%d storage=%d bytes (constant)\n",
-		hdr.Height, client.StorageSize())
+// runPipelined streams blocks through the pipelined certification engine:
+// block i+1 is mined and speculatively executed while block i is still
+// inside the enclave. The client validates certificates as they land.
+func runPipelined(dep *dcert.Deployment, client *dcert.SuperlightClient, blocks, txs, workers int, interval time.Duration) error {
+	pl, err := dcert.NewPipeline(dep.Issuer(), dcert.PipelineConfig{Workers: workers})
+	if err != nil {
+		return err
+	}
+	consumed := make(chan error, 1)
+	go func() {
+		consumed <- func() error {
+			for res := range pl.Results() {
+				if res.Err != nil {
+					return fmt.Errorf("block %d: %w", res.Block.Header.Height, res.Err)
+				}
+				start := time.Now()
+				if err := client.ValidateChain(&res.Block.Header, res.Cert); err != nil {
+					return fmt.Errorf("client validation %d: %w", res.Block.Header.Height, err)
+				}
+				validate := time.Since(start)
+				if err := dep.Net().Publish(dcert.TopicCerts, "ci0", res.Cert); err != nil {
+					return err
+				}
+				fmt.Printf("block %4d  hash=%s  txs=%d  cert=%dB  client-validate=%v  client-storage=%dB\n",
+					res.Block.Header.Height, res.Block.Hash(), len(res.Block.Txs),
+					res.Cert.EncodedSize(), validate.Round(time.Microsecond), client.StorageSize())
+			}
+			return nil
+		}()
+	}()
+	for i := 1; i <= blocks; i++ {
+		batch, err := dep.GenerateBlockTxs(txs)
+		if err != nil {
+			pl.Abort()
+			<-consumed
+			return err
+		}
+		blk, err := dep.Miner().Propose(batch)
+		if err != nil {
+			pl.Abort()
+			<-consumed
+			return fmt.Errorf("propose %d: %w", i, err)
+		}
+		if err := pl.Submit(blk); err != nil {
+			<-consumed
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+		if err := dep.Net().Publish(dcert.TopicBlocks, "miner", blk); err != nil {
+			pl.Abort()
+			<-consumed
+			return err
+		}
+		if interval > 0 {
+			time.Sleep(interval)
+		}
+	}
+	pl.Close()
+	if err := <-consumed; err != nil {
+		pl.Wait()
+		return err
+	}
+	if err := pl.Wait(); err != nil {
+		return err
+	}
+	st := pl.Stats()
+	fmt.Printf("\npipeline: %d blocks, wall=%v, stage p99 verify=%v execute=%v commit=%v\n",
+		st.Blocks, st.Wall.Round(time.Millisecond),
+		st.VerifyP99.Round(time.Microsecond), st.ExecP99.Round(time.Microsecond), st.CommitP99.Round(time.Microsecond))
 	return nil
 }

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	dcert-query [-blocks N] [-txs N] [-window N] [-keywords w1,w2]
+//	dcert-query [-blocks N] [-txs N] [-window N] [-keywords w1,w2] [-debug-addr host:port]
+//
+// With -debug-addr the instrumentation plane (Ecall counters split block vs
+// index, certification latency histograms, /healthz, pprof) is served over
+// HTTP while the program runs.
 package main
 
 import (
@@ -30,6 +34,7 @@ func run() error {
 	txs := flag.Int("txs", 30, "transactions per block")
 	window := flag.Int("window", 10, "historical query window in blocks")
 	keywords := flag.String("keywords", "deposit_check", "comma-separated conjunctive keywords")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/spans, /healthz, /debug/pprof on this address")
 	flag.Parse()
 
 	dep, err := dcert.NewDeployment(dcert.Config{
@@ -51,6 +56,15 @@ func run() error {
 		return dcert.NewKeywordIndex("kw")
 	}); err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		dep.EnableObservability(dcert.NewLogger(os.Stderr, dcert.LogInfo, dcert.LogF("node", "dcert-query")))
+		dbg, err := dep.StartDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoint: %s/metrics\n", dbg.URL())
 	}
 	client := dep.NewSuperlightClient()
 	names := []string{"hist", "kw"}

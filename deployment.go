@@ -8,6 +8,7 @@ import (
 	"dcert/internal/core"
 	"dcert/internal/network"
 	"dcert/internal/node"
+	"dcert/internal/obs"
 	"dcert/internal/query"
 	"dcert/internal/statedb"
 	"dcert/internal/vm"
@@ -71,6 +72,11 @@ type Deployment struct {
 	net       *network.Network
 	gen       *workload.Generator
 	params    consensus.Params
+
+	// Instrumentation plane, nil until EnableObservability.
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	logger *obs.Logger
 }
 
 // newFullNode builds an independent full-node replica for the deployment's

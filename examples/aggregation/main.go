@@ -14,12 +14,13 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"dcert"
 )
 
 func main() {
+	logger := dcert.NewLogger(os.Stderr, dcert.LogInfo, dcert.LogF("node", "aggregation"))
 	dep, err := dcert.NewDeployment(dcert.Config{
 		Workload:  dcert.SmallBank,
 		Contracts: 2,
@@ -28,12 +29,12 @@ func main() {
 		Seed:      8,
 	})
 	if err != nil {
-		log.Fatalf("deployment: %v", err)
+		logger.Fatal("deployment", dcert.LogF("err", err))
 	}
 	if _, err := dep.AddIndex(func() (*dcert.AuthIndex, error) {
 		return dcert.NewHistoricalIndex("history", "ct/")
 	}); err != nil {
-		log.Fatalf("add index: %v", err)
+		logger.Fatal("add index", dcert.LogF("err", err))
 	}
 	client := dep.NewSuperlightClient()
 
@@ -41,26 +42,26 @@ func main() {
 	for i := 0; i < 20; i++ {
 		blk, blkCert, idxCerts, err := dep.MineAndCertifyHierarchical(20, []string{"history"})
 		if err != nil {
-			log.Fatalf("block %d: %v", i, err)
+			logger.Fatal("block failed", dcert.LogF("height", i), dcert.LogF("err", err))
 		}
 		if err := client.ValidateChain(&blk.Header, blkCert); err != nil {
-			log.Fatalf("chain validation: %v", err)
+			logger.Fatal("chain validation", dcert.LogF("err", err))
 		}
 		ix, err := dep.SP().Index("history")
 		if err != nil {
-			log.Fatalf("index: %v", err)
+			logger.Fatal("index", dcert.LogF("err", err))
 		}
 		root, err := ix.Root()
 		if err != nil {
-			log.Fatalf("root: %v", err)
+			logger.Fatal("root", dcert.LogF("err", err))
 		}
 		if err := client.ValidateIndex("history", &blk.Header, root, idxCerts[0]); err != nil {
-			log.Fatalf("index certificate: %v", err)
+			logger.Fatal("index certificate", dcert.LogF("err", err))
 		}
 	}
 	root, height, err := client.IndexRoot("history")
 	if err != nil {
-		log.Fatalf("index root: %v", err)
+		logger.Fatal("index root", dcert.LogF("err", err))
 	}
 	fmt.Printf("index root certified at height %d\n\n", height)
 
@@ -68,10 +69,10 @@ func main() {
 	for _, op := range []dcert.AggregateOp{dcert.AggCount, dcert.AggSum, dcert.AggMin, dcert.AggMax} {
 		res, err := dep.SP().AggregateQuery("history", op, key, 0, height)
 		if err != nil {
-			log.Fatalf("%s: %v", op, err)
+			logger.Fatal("aggregate query failed", dcert.LogF("op", op), dcert.LogF("err", err))
 		}
 		if err := dcert.VerifyAggregate(root, res); err != nil {
-			log.Fatalf("%s verification FAILED: %v", op, err)
+			logger.Fatal("aggregate verification failed", dcert.LogF("op", op), dcert.LogF("err", err))
 		}
 		fmt.Printf("verified %s(%s over blocks [0, %d]) = %d  (backed by %d proven versions)\n",
 			op, key, height, res.Value, len(res.Historical.Entries))
@@ -80,12 +81,12 @@ func main() {
 	// A dishonest SP inflating the SUM is caught.
 	res, err := dep.SP().AggregateQuery("history", dcert.AggSum, key, 0, height)
 	if err != nil {
-		log.Fatalf("sum: %v", err)
+		logger.Fatal("sum", dcert.LogF("err", err))
 	}
 	res.Value *= 2
 	if err := dcert.VerifyAggregate(root, res); err != nil {
 		fmt.Printf("\ninflating the SUM is caught: %v\n", err)
 	} else {
-		log.Fatal("BUG: inflated aggregate went undetected")
+		logger.Fatal("BUG: inflated aggregate went undetected")
 	}
 }

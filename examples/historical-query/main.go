@@ -19,12 +19,13 @@ package main
 import (
 	"encoding/binary"
 	"fmt"
-	"log"
+	"os"
 
 	"dcert"
 )
 
 func main() {
+	logger := dcert.NewLogger(os.Stderr, dcert.LogInfo, dcert.LogF("node", "historical-query"))
 	dep, err := dcert.NewDeployment(dcert.Config{
 		Workload:  dcert.SmallBank,
 		Contracts: 2,
@@ -33,12 +34,12 @@ func main() {
 		Seed:      2,
 	})
 	if err != nil {
-		log.Fatalf("deployment: %v", err)
+		logger.Fatal("deployment", dcert.LogF("err", err))
 	}
 	if _, err := dep.AddIndex(func() (*dcert.AuthIndex, error) {
 		return dcert.NewHistoricalIndex("history", "ct/")
 	}); err != nil {
-		log.Fatalf("add index: %v", err)
+		logger.Fatal("add index", dcert.LogF("err", err))
 	}
 	client := dep.NewSuperlightClient()
 
@@ -48,27 +49,27 @@ func main() {
 	for i := 0; i < 25; i++ {
 		blk, blkCert, idxCerts, err := dep.MineAndCertifyHierarchical(20, []string{"history"})
 		if err != nil {
-			log.Fatalf("block %d: %v", i, err)
+			logger.Fatal("block failed", dcert.LogF("height", i), dcert.LogF("err", err))
 		}
 		if err := client.ValidateChain(&blk.Header, blkCert); err != nil {
-			log.Fatalf("chain validation: %v", err)
+			logger.Fatal("chain validation", dcert.LogF("err", err))
 		}
 		ix, err := dep.SP().Index("history")
 		if err != nil {
-			log.Fatalf("index: %v", err)
+			logger.Fatal("index", dcert.LogF("err", err))
 		}
 		root, err := ix.Root()
 		if err != nil {
-			log.Fatalf("root: %v", err)
+			logger.Fatal("root", dcert.LogF("err", err))
 		}
 		if err := client.ValidateIndex("history", &blk.Header, root, idxCerts[0]); err != nil {
-			log.Fatalf("index certificate: %v", err)
+			logger.Fatal("index certificate", dcert.LogF("err", err))
 		}
 	}
 	tip, _ := client.Latest()
 	certifiedRoot, certifiedAt, err := client.IndexRoot("history")
 	if err != nil {
-		log.Fatalf("index root: %v", err)
+		logger.Fatal("index root", dcert.LogF("err", err))
 	}
 	fmt.Printf("chain height %d; index root certified at height %d\n\n", tip.Height, certifiedAt)
 
@@ -77,10 +78,10 @@ func main() {
 	lo, hi := uint64(5), tip.Height
 	res, err := dep.SP().HistoricalQuery("history", key, lo, hi)
 	if err != nil {
-		log.Fatalf("query: %v", err)
+		logger.Fatal("query", dcert.LogF("err", err))
 	}
 	if err := dcert.VerifyHistorical(certifiedRoot, res); err != nil {
-		log.Fatalf("verification failed: %v", err)
+		logger.Fatal("verification failed", dcert.LogF("err", err))
 	}
 	fmt.Printf("verified history of %q in blocks [%d, %d] (%d versions, proof %d B):\n",
 		key, lo, hi, len(res.Entries), res.Proof.EncodedSize())
@@ -95,7 +96,7 @@ func main() {
 		if err := dcert.VerifyHistorical(certifiedRoot, &dropped); err != nil {
 			fmt.Printf("\ndropping a result is caught: %v\n", err)
 		} else {
-			log.Fatal("BUG: dropped result went undetected")
+			logger.Fatal("BUG: dropped result went undetected")
 		}
 
 		// ...nor alter one.
@@ -105,7 +106,7 @@ func main() {
 		if err := dcert.VerifyHistorical(certifiedRoot, &tampered); err != nil {
 			fmt.Printf("altering a balance is caught: %v\n", err)
 		} else {
-			log.Fatal("BUG: tampered result went undetected")
+			logger.Fatal("BUG: tampered result went undetected")
 		}
 	}
 }

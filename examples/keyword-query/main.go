@@ -14,12 +14,13 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"dcert"
 )
 
 func main() {
+	logger := dcert.NewLogger(os.Stderr, dcert.LogInfo, dcert.LogF("node", "keyword-query"))
 	dep, err := dcert.NewDeployment(dcert.Config{
 		Workload:  dcert.SmallBank,
 		Contracts: 3,
@@ -28,12 +29,12 @@ func main() {
 		Seed:      5,
 	})
 	if err != nil {
-		log.Fatalf("deployment: %v", err)
+		logger.Fatal("deployment", dcert.LogF("err", err))
 	}
 	if _, err := dep.AddIndex(func() (*dcert.AuthIndex, error) {
 		return dcert.NewKeywordIndex("keywords")
 	}); err != nil {
-		log.Fatalf("add index: %v", err)
+		logger.Fatal("add index", dcert.LogF("err", err))
 	}
 	client := dep.NewSuperlightClient()
 
@@ -41,26 +42,26 @@ func main() {
 	for i := 0; i < 15; i++ {
 		blk, blkCert, idxCerts, err := dep.MineAndCertifyHierarchical(25, []string{"keywords"})
 		if err != nil {
-			log.Fatalf("block %d: %v", i, err)
+			logger.Fatal("block failed", dcert.LogF("height", i), dcert.LogF("err", err))
 		}
 		if err := client.ValidateChain(&blk.Header, blkCert); err != nil {
-			log.Fatalf("chain validation: %v", err)
+			logger.Fatal("chain validation", dcert.LogF("err", err))
 		}
 		ix, err := dep.SP().Index("keywords")
 		if err != nil {
-			log.Fatalf("index: %v", err)
+			logger.Fatal("index", dcert.LogF("err", err))
 		}
 		root, err := ix.Root()
 		if err != nil {
-			log.Fatalf("root: %v", err)
+			logger.Fatal("root", dcert.LogF("err", err))
 		}
 		if err := client.ValidateIndex("keywords", &blk.Header, root, idxCerts[0]); err != nil {
-			log.Fatalf("index certificate: %v", err)
+			logger.Fatal("index certificate", dcert.LogF("err", err))
 		}
 	}
 	certifiedRoot, _, err := client.IndexRoot("keywords")
 	if err != nil {
-		log.Fatalf("index root: %v", err)
+		logger.Fatal("index root", dcert.LogF("err", err))
 	}
 
 	// Conjunctive query: transactions that are send_payment calls on a
@@ -74,10 +75,10 @@ func main() {
 	for _, q := range queries {
 		res, err := dep.SP().KeywordQuery("keywords", q)
 		if err != nil {
-			log.Fatalf("query %v: %v", q, err)
+			logger.Fatal("query failed", dcert.LogF("query", q), dcert.LogF("err", err))
 		}
 		if err := dcert.VerifyKeyword(certifiedRoot, res); err != nil {
-			log.Fatalf("verification failed for %v: %v", q, err)
+			logger.Fatal("keyword verification failed", dcert.LogF("query", q), dcert.LogF("err", err))
 		}
 		fmt.Printf("\nquery %v: %d verified matches (proof %d B)\n", q, len(res.Matches), res.ProofSize())
 		for i, m := range res.Matches {
@@ -92,14 +93,14 @@ func main() {
 	// A forged match is rejected by the verifier.
 	res, err := dep.SP().KeywordQuery("keywords", []string{"send_payment"})
 	if err != nil {
-		log.Fatalf("query: %v", err)
+		logger.Fatal("query", dcert.LogF("err", err))
 	}
 	if len(res.Matches) > 1 {
 		res.Matches = res.Matches[:len(res.Matches)-1] // SP hides a match
 		if err := dcert.VerifyKeyword(certifiedRoot, res); err != nil {
 			fmt.Printf("\nhiding a matching transaction is caught: %v\n", err)
 		} else {
-			log.Fatal("BUG: hidden match went undetected")
+			logger.Fatal("BUG: hidden match went undetected")
 		}
 	}
 }

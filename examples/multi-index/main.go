@@ -15,7 +15,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 	"time"
 
 	"dcert"
@@ -89,6 +89,7 @@ func runScheme(scheme string, indexes, blocks, txs int) (time.Duration, uint64, 
 }
 
 func main() {
+	logger := dcert.NewLogger(os.Stderr, dcert.LogInfo, dcert.LogF("node", "multi-index"))
 	const blocks, txs = 3, 60
 	fmt.Println("augmented vs hierarchical certification (Fig. 10 live demo)")
 	fmt.Printf("%-14s %-9s %-18s %s\n", "scheme", "#indexes", "CI time/block", "ecalls/block")
@@ -96,7 +97,7 @@ func main() {
 		for _, scheme := range []string{"augmented", "hierarchical"} {
 			mean, ecalls, err := runScheme(scheme, n, blocks, txs)
 			if err != nil {
-				log.Fatalf("%s/%d: %v", scheme, n, err)
+				logger.Fatal("scheme run failed", dcert.LogF("scheme", scheme), dcert.LogF("indexes", n), dcert.LogF("err", err))
 			}
 			fmt.Printf("%-14s %-9d %-18v %d\n", scheme, n, mean.Round(time.Microsecond), ecalls)
 		}

@@ -13,13 +13,15 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 	"time"
 
 	"dcert"
 )
 
 func main() {
+	logger := dcert.NewLogger(os.Stderr, dcert.LogInfo, dcert.LogF("node", "quickstart"))
+
 	// 1. Stand up a DCert deployment: a KVStore chain with an enclave-backed
 	//    certificate issuer. The zero-ish config is fine for a demo.
 	dep, err := dcert.NewDeployment(dcert.Config{
@@ -29,8 +31,11 @@ func main() {
 		KeySpace:  100,
 	})
 	if err != nil {
-		log.Fatalf("deployment: %v", err)
+		logger.Fatal("deployment failed", dcert.LogF("err", err))
 	}
+	// Attach the instrumentation plane so the run can report what the
+	// enclave and the certification path actually did.
+	reg, _ := dep.EnableObservability(logger)
 	fmt.Println("DCert quickstart")
 	fmt.Printf("  enclave measurement: %s\n", dep.Issuer().Measurement())
 
@@ -45,13 +50,13 @@ func main() {
 	for i := 0; i < blocks; i++ {
 		blk, cert, err := dep.MineAndCertify(25)
 		if err != nil {
-			log.Fatalf("mine+certify: %v", err)
+			logger.Fatal("mine+certify failed", dcert.LogF("err", err))
 		}
 
 		// 4. The client validates the ENTIRE chain with one certificate.
 		start := time.Now()
 		if err := client.ValidateChain(&blk.Header, cert); err != nil {
-			log.Fatalf("validation failed: %v", err)
+			logger.Fatal("validation failed", dcert.LogF("err", err))
 		}
 		fmt.Printf("  height %d validated in %v (client stores %d bytes)\n",
 			blk.Header.Height, time.Since(start).Round(time.Microsecond), client.StorageSize())
@@ -62,4 +67,12 @@ func main() {
 	fmt.Printf("\nfinal state: height=%d, header %d B + certificate %d B = %d B total\n",
 		hdr.Height, hdr.EncodedSize(), cert.EncodedSize(), client.StorageSize())
 	fmt.Println("a traditional light client would store every header and re-verify each one.")
+
+	// 6. One-line metrics summary from the instrumentation plane.
+	certified := reg.Counter("dcert_issuer_blocks_certified_total", "", dcert.MetricLabel("ci", "ci0")).Value()
+	ecalls := reg.Counter("dcert_issuer_ecalls_total", "", dcert.MetricLabel("ci", "ci0"), dcert.MetricLabel("kind", "block")).Value()
+	p99 := reg.Histogram("dcert_issuer_certify_seconds", "", nil, dcert.MetricLabel("ci", "ci0")).
+		Snapshot().QuantileDuration(0.99)
+	fmt.Printf("metrics: blocks_certified=%d ecalls=%d certify_p99=%v\n",
+		certified, ecalls, p99.Round(time.Microsecond))
 }

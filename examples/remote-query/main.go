@@ -10,13 +10,14 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 	"time"
 
 	"dcert"
 )
 
 func main() {
+	logger := dcert.NewLogger(os.Stderr, dcert.LogInfo, dcert.LogF("node", "remote-query"))
 	dep, err := dcert.NewDeployment(dcert.Config{
 		Workload:  dcert.SmallBank,
 		Contracts: 2,
@@ -25,12 +26,12 @@ func main() {
 		Seed:      11,
 	})
 	if err != nil {
-		log.Fatalf("deployment: %v", err)
+		logger.Fatal("deployment", dcert.LogF("err", err))
 	}
 	if _, err := dep.AddIndex(func() (*dcert.AuthIndex, error) {
 		return dcert.NewHistoricalIndex("history", "ct/")
 	}); err != nil {
-		log.Fatalf("add index: %v", err)
+		logger.Fatal("add index", dcert.LogF("err", err))
 	}
 	client := dep.NewSuperlightClient()
 
@@ -38,21 +39,21 @@ func main() {
 	for i := 0; i < 12; i++ {
 		blk, blkCert, idxCerts, err := dep.MineAndCertifyHierarchical(15, []string{"history"})
 		if err != nil {
-			log.Fatalf("block %d: %v", i, err)
+			logger.Fatal("block failed", dcert.LogF("height", i), dcert.LogF("err", err))
 		}
 		if err := client.ValidateChain(&blk.Header, blkCert); err != nil {
-			log.Fatalf("chain validation: %v", err)
+			logger.Fatal("chain validation", dcert.LogF("err", err))
 		}
 		ix, err := dep.SP().Index("history")
 		if err != nil {
-			log.Fatalf("index: %v", err)
+			logger.Fatal("index", dcert.LogF("err", err))
 		}
 		root, err := ix.Root()
 		if err != nil {
-			log.Fatalf("root: %v", err)
+			logger.Fatal("root", dcert.LogF("err", err))
 		}
 		if err := client.ValidateIndex("history", &blk.Header, root, idxCerts[0]); err != nil {
-			log.Fatalf("index certificate: %v", err)
+			logger.Fatal("index certificate", dcert.LogF("err", err))
 		}
 	}
 
@@ -65,14 +66,14 @@ func main() {
 	// 1. Remote historical query, verified against the certified root.
 	root, _, err := client.IndexRoot("history")
 	if err != nil {
-		log.Fatalf("index root: %v", err)
+		logger.Fatal("index root", dcert.LogF("err", err))
 	}
 	hres, err := requester.Historical("history", "ct/SB-0000/checking/cust-4", 0, 100)
 	if err != nil {
-		log.Fatalf("remote historical: %v", err)
+		logger.Fatal("remote historical", dcert.LogF("err", err))
 	}
 	if err := dcert.VerifyHistorical(root, hres); err != nil {
-		log.Fatalf("verification failed: %v", err)
+		logger.Fatal("verification failed", dcert.LogF("err", err))
 	}
 	fmt.Printf("remote historical query: %d verified versions (%d B over the wire)\n",
 		len(hres.Entries), len(hres.Marshal()))
@@ -81,10 +82,10 @@ func main() {
 	hdr, _ := client.Latest()
 	sres, err := requester.State("ct/SB-0000/checking/cust-4")
 	if err != nil {
-		log.Fatalf("remote state: %v", err)
+		logger.Fatal("remote state", dcert.LogF("err", err))
 	}
 	if err := dcert.VerifyState(hdr, sres); err != nil {
-		log.Fatalf("state verification failed: %v", err)
+		logger.Fatal("state verification failed", dcert.LogF("err", err))
 	}
 	fmt.Printf("remote state read verified against certified header at height %d\n", hdr.Height)
 

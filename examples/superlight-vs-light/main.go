@@ -13,20 +13,21 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 	"time"
 
 	"dcert"
 )
 
 func main() {
+	logger := dcert.NewLogger(os.Stderr, dcert.LogInfo, dcert.LogF("node", "superlight-vs-light"))
 	dep, err := dcert.NewDeployment(dcert.Config{
 		Workload:  dcert.DoNothing, // header costs are what matter here
 		Contracts: 5,
 		Accounts:  8,
 	})
 	if err != nil {
-		log.Fatalf("deployment: %v", err)
+		logger.Fatal("deployment", dcert.LogF("err", err))
 	}
 
 	checkpoints := map[uint64]bool{25: true, 50: true, 100: true}
@@ -40,7 +41,7 @@ func main() {
 	for i := 0; i < 100; i++ {
 		blk, cert, err := dep.MineAndCertify(1)
 		if err != nil {
-			log.Fatalf("mine: %v", err)
+			logger.Fatal("mine", dcert.LogF("err", err))
 		}
 		if checkpoints[blk.Header.Height] {
 			tips[blk.Header.Height] = tip{hdr: blk.Header, cert: cert}
@@ -55,7 +56,7 @@ func main() {
 		lc := dep.NewLightClient()
 		start := time.Now()
 		if err := lc.Sync(headers[:h+1]); err != nil {
-			log.Fatalf("light sync: %v", err)
+			logger.Fatal("light sync", dcert.LogF("err", err))
 		}
 		lightTime := time.Since(start)
 		perHeader = lightTime / time.Duration(h+1)
@@ -64,7 +65,7 @@ func main() {
 		cp := tips[h]
 		start = time.Now()
 		if err := sc.ValidateChain(&cp.hdr, cp.cert); err != nil {
-			log.Fatalf("superlight validate: %v", err)
+			logger.Fatal("superlight validate", dcert.LogF("err", err))
 		}
 		superTime := time.Since(start)
 
@@ -82,7 +83,7 @@ func main() {
 	sc := dep.NewSuperlightClient()
 	cp := tips[100]
 	if err := sc.ValidateChain(&cp.hdr, cp.cert); err != nil {
-		log.Fatalf("superlight validate: %v", err)
+		logger.Fatal("superlight validate", dcert.LogF("err", err))
 	}
 	fmt.Printf("  superlight client: %.2f KB storage, sub-millisecond bootstrap — constant forever\n",
 		float64(sc.StorageSize())/1024)

@@ -55,6 +55,12 @@ type PipelinePoint struct {
 	// Occupancy is each stage's busy/wall fraction in the real run
 	// (verify is summed across workers and can exceed 1).
 	Occupancy map[string]float64 `json:"occupancy"`
+	// Ecalls is the enclave entry count of the real run (instrumentation
+	//-plane snapshot: one recursive-certification Ecall per block).
+	Ecalls uint64 `json:"ecalls"`
+	// StageP99MS is the per-stage p99 latency of the real run, from the
+	// pipeline's always-on atomic stage histograms.
+	StageP99MS map[string]float64 `json:"stage_p99_ms"`
 	// Modeled flags BlocksPerSec as schedule-model output.
 	Modeled bool `json:"modeled"`
 }
@@ -158,6 +164,7 @@ func RunPipeline(scale Scale) (*PipelineResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		ecallsBefore := ci.Enclave().Stats().Ecalls
 		pl, err := dcert.NewPipeline(ci, dcert.PipelineConfig{Workers: workers})
 		if err != nil {
 			return nil, err
@@ -209,6 +216,12 @@ func RunPipeline(scale Scale) (*PipelineResult, error) {
 				"exec":   stats.ExecBusy.Seconds() / wall,
 				"commit": stats.CommitBusy.Seconds() / wall,
 			},
+			Ecalls: ci.Enclave().Stats().Ecalls - ecallsBefore,
+			StageP99MS: map[string]float64{
+				"verify": stats.VerifyP99.Seconds() * 1000,
+				"exec":   stats.ExecP99.Seconds() * 1000,
+				"commit": stats.CommitP99.Seconds() * 1000,
+			},
 			Modeled: true,
 		})
 	}
@@ -232,7 +245,7 @@ func (r *PipelineResult) Table() *Table {
 			r.SequentialBlocksPerSec, r.StageMS.Verify, r.StageMS.Exec, r.StageMS.Proof, r.StageMS.Ecall, r.StageMS.Commit),
 		Columns: []string{
 			"workers", "blocks/s (modeled)", "speedup", "wall blocks/s",
-			"verify occ", "exec occ", "commit occ",
+			"verify occ", "exec occ", "commit occ", "ecalls", "commit p99 ms",
 		},
 	}
 	for _, pt := range r.Points {
@@ -244,6 +257,8 @@ func (r *PipelineResult) Table() *Table {
 			fmt.Sprintf("%.2f", pt.Occupancy["verify"]),
 			fmt.Sprintf("%.2f", pt.Occupancy["exec"]),
 			fmt.Sprintf("%.2f", pt.Occupancy["commit"]),
+			fmt.Sprintf("%d", pt.Ecalls),
+			fmt.Sprintf("%.2f", pt.StageP99MS["commit"]),
 		})
 	}
 	return t

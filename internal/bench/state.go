@@ -12,6 +12,7 @@ import (
 	"dcert/internal/chash"
 	"dcert/internal/mht"
 	"dcert/internal/mpt"
+	"dcert/internal/obs"
 	"dcert/internal/smt"
 )
 
@@ -84,6 +85,11 @@ type StateResult struct {
 	MPTCommit StateCommit `json:"mpt_commit"`
 	// MHTBuild is the per-block transaction-root construction path.
 	MHTBuild StateCommit `json:"mht_build"`
+	// Obs are the instrumentation-plane primitive costs (counter increment,
+	// histogram observation, span start+end) — the per-event overhead every
+	// instrumented hot-path site pays. No baseline: the comparison point is
+	// zero (the uninstrumented path), so ns/op and allocs/op are the numbers.
+	Obs []StateHashEntry `json:"obs"`
 	// NodeAllocsPerOp restates the chash.Node steady-state allocation count
 	// (the zero-allocation acceptance gate).
 	NodeAllocsPerOp float64 `json:"node_allocs_per_op"`
@@ -413,6 +419,19 @@ func RunState(scale Scale) (*StateResult, error) {
 	mb.SerialMs = mb.SeqMs * float64(serialNodes) / float64(totalWork)
 	modelCommit(mb)
 
+	// --- instrumentation-plane primitives --------------------------------
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("bench_events_total", "")
+	hist := reg.Histogram("bench_latency_seconds", "", nil)
+	tracer := obs.NewTracer(1024)
+	addObs := func(name string, fn func()) {
+		ns, allocs := measure(target, fn)
+		res.Obs = append(res.Obs, StateHashEntry{Name: name, NsPerOp: ns, AllocsPerOp: allocs})
+	}
+	addObs("obs_counter_inc", func() { ctr.Inc() })
+	addObs("obs_histogram_observe", func() { hist.Observe(1.5e-3) })
+	addObs("obs_span_start_end", func() { tracer.Start("bench", 0).End() })
+
 	// --- headline -------------------------------------------------------
 	res.HashPathSpeedup = smtSpeedup
 	for _, pt := range mc.Modeled {
@@ -448,6 +467,11 @@ func (r *StateResult) Table() *Table {
 		}
 		t.Rows = append(t.Rows, []string{
 			e.Name, fmt.Sprintf("%.0f ns", e.NsPerOp), fmt.Sprintf("%.1f", e.AllocsPerOp), base, speed,
+		})
+	}
+	for _, e := range r.Obs {
+		t.Rows = append(t.Rows, []string{
+			e.Name, fmt.Sprintf("%.1f ns", e.NsPerOp), fmt.Sprintf("%.1f", e.AllocsPerOp), "-", "-",
 		})
 	}
 	commitRow := func(name string, c *StateCommit) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dcert/internal/attest"
 	"dcert/internal/chain"
@@ -28,7 +29,11 @@ type Issuer struct {
 	// pipelining guards against two concurrent Pipelines on one issuer.
 	pipelining atomic.Bool
 
+	// met holds the instrumentation hooks (all no-ops until Instrument).
+	met issuerObs
+
 	mu             sync.RWMutex
+	lastCertAt     time.Time
 	lastCert       *Certificate
 	certs          map[chash.Hash]*Certificate            // block hash → block cert
 	indexCerts     map[string]map[chash.Hash]*Certificate // index → block hash → cert
@@ -218,6 +223,7 @@ func ecallInputSize(prev, blk *chain.Block, prevCert *Certificate, proof *stated
 // breakdown feeds Figs. 8-9.
 func (ci *Issuer) ProcessBlock(blk *chain.Block) (*Certificate, CostBreakdown, error) {
 	var bd CostBreakdown
+	certifyStart := time.Now()
 	prev, prevCert := ci.certifiedTip()
 
 	proof, res, err := ci.prepare(blk, &bd)
@@ -240,6 +246,7 @@ func (ci *Issuer) ProcessBlock(blk *chain.Block) (*Certificate, CostBreakdown, e
 	if err := ci.adopt(blk, cert); err != nil {
 		return nil, bd, err
 	}
+	ci.met.certifySec.Observe(time.Since(certifyStart).Seconds())
 	return cert, bd, nil
 }
 
@@ -255,6 +262,8 @@ func (ci *Issuer) ecallSigGen(prev *chain.Block, prevCert *Certificate, blk *cha
 	after := ci.encl.Stats()
 	bd.InsideExec += (after.ExecTime - before.ExecTime).Seconds()
 	bd.InsideOverhead += (after.OverheadTime - before.OverheadTime).Seconds()
+	ci.met.ecallsBlock.Inc()
+	ci.met.enclaveBlockSec.Observe((after.InsideTime() - before.InsideTime()).Seconds())
 	if err != nil {
 		return nil, fmt.Errorf("core: ecall_sig_gen: %w", err)
 	}
@@ -273,5 +282,7 @@ func (ci *Issuer) adopt(blk *chain.Block, cert *Certificate) error {
 	}
 	ci.certs[blk.Hash()] = cert
 	ci.lastCert = cert
+	ci.lastCertAt = time.Now()
+	ci.met.blocksCertified.Inc()
 	return nil
 }

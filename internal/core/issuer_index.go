@@ -94,6 +94,8 @@ func (ci *Issuer) ProcessBlockAugmented(blk *chain.Block, jobs []*IndexJob) ([]*
 		after := ci.encl.Stats()
 		bd.InsideExec += (after.ExecTime - before.ExecTime).Seconds()
 		bd.InsideOverhead += (after.OverheadTime - before.OverheadTime).Seconds()
+		ci.met.ecallsIndex.Inc()
+		ci.met.enclaveIndexSec.Observe((after.InsideTime() - before.InsideTime()).Seconds())
 		if err != nil {
 			return nil, bd, fmt.Errorf("core: augmented ecall (%s): %w", job.Updater, err)
 		}
@@ -182,6 +184,8 @@ func (ci *Issuer) ecallHierarchicalIndex(prev, blk *chain.Block, blkCert *Certif
 	after := ci.encl.Stats()
 	bd.InsideExec += (after.ExecTime - before.ExecTime).Seconds()
 	bd.InsideOverhead += (after.OverheadTime - before.OverheadTime).Seconds()
+	ci.met.ecallsIndex.Inc()
+	ci.met.enclaveIndexSec.Observe((after.InsideTime() - before.InsideTime()).Seconds())
 	if err != nil {
 		return nil, fmt.Errorf("core: hierarchical ecall (%s): %w", job.Updater, err)
 	}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"time"
+
+	"dcert/internal/obs"
+)
+
+// Issuer-side instrumentation. An issuer is born uninstrumented: every hook
+// below is a nil obs instrument whose methods no-op, so certification pays
+// one predictable branch per record and zero allocations. Instrument wires
+// the hooks into a registry under the issuer's identity label; because the
+// registry dedups by (name, labels), an issuer restarted under the same
+// identity keeps accumulating into the same series.
+
+// issuerObs bundles an issuer's instrumentation hooks (all fields nil-safe).
+type issuerObs struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	logger *obs.Logger
+	id     string
+
+	// ecalls counts enclave entries, split block- vs index-certification.
+	ecallsBlock *obs.Counter
+	ecallsIndex *obs.Counter
+	// enclaveBlockSec / enclaveIndexSec split in-enclave time (real trusted
+	// execution + simulated SGX overhead) the same way.
+	enclaveBlockSec *obs.Histogram
+	enclaveIndexSec *obs.Histogram
+	// blocksCertified counts adopted blocks; certifySec is the end-to-end
+	// per-block certification latency (prepare + Ecall + adopt).
+	blocksCertified *obs.Counter
+	certifySec      *obs.Histogram
+}
+
+// Instrument attaches the issuer to an instrumentation plane under the
+// given identity (e.g. "ci0"). Passing a nil registry detaches nothing —
+// instruments already wired keep working; nil hooks stay nil. Safe to call
+// before certification starts; not safe concurrently with certification.
+func (ci *Issuer) Instrument(reg *obs.Registry, tracer *obs.Tracer, logger *obs.Logger, id string) {
+	ci.met = issuerObs{
+		reg:    reg,
+		tracer: tracer,
+		logger: logger.With(obs.F("ci", id)),
+		id:     id,
+
+		ecallsBlock: reg.Counter("dcert_issuer_ecalls_total",
+			"Enclave entries by certification kind.", obs.L("ci", id), obs.L("kind", "block")),
+		ecallsIndex: reg.Counter("dcert_issuer_ecalls_total",
+			"Enclave entries by certification kind.", obs.L("ci", id), obs.L("kind", "index")),
+		enclaveBlockSec: reg.Histogram("dcert_issuer_enclave_seconds",
+			"In-enclave time per Ecall by certification kind.", nil, obs.L("ci", id), obs.L("kind", "block")),
+		enclaveIndexSec: reg.Histogram("dcert_issuer_enclave_seconds",
+			"In-enclave time per Ecall by certification kind.", nil, obs.L("ci", id), obs.L("kind", "index")),
+		blocksCertified: reg.Counter("dcert_issuer_blocks_certified_total",
+			"Blocks adopted with a certificate.", obs.L("ci", id)),
+		certifySec: reg.Histogram("dcert_issuer_certify_seconds",
+			"End-to-end per-block certification latency.", nil, obs.L("ci", id)),
+	}
+}
+
+// Observability returns the issuer's attached registry, tracer and logger
+// (all nil while uninstrumented).
+func (ci *Issuer) Observability() (*obs.Registry, *obs.Tracer, *obs.Logger) {
+	return ci.met.reg, ci.met.tracer, ci.met.logger
+}
+
+// LastCertTime reports when the newest certificate was adopted (zero before
+// the first), feeding /healthz certificate-freshness.
+func (ci *Issuer) LastCertTime() time.Time {
+	ci.mu.RLock()
+	defer ci.mu.RUnlock()
+	return ci.lastCertAt
+}
+
+// Pipeline-side instrumentation. The four stage histograms are always-on:
+// they double as the pipeline's busy-time accounting (their atomic sums
+// replaced the old mutex-guarded busy array, which raced Stats readers), so
+// they exist even with no registry attached. With a registry, the same
+// histograms are registered under the issuer's identity, plus queue-depth
+// gauges and rollback/abort/block counters.
+type pipelineObs struct {
+	stage [numStages]*obs.Histogram // always non-nil
+
+	queueVerify *obs.Gauge
+	queueCommit *obs.Gauge
+	queueIndex  *obs.Gauge
+	rollbacks   *obs.Counter
+	aborts      *obs.Counter
+	blocks      *obs.Counter
+}
+
+// Stage indices (the stage histogram order).
+const (
+	stageVerify = iota
+	stageExec
+	stageCommit
+	stageIndex
+	numStages
+)
+
+var stageNames = [numStages]string{"verify", "execute", "commit", "index"}
+
+// pipelineBuckets adds sub-10µs resolution to the default latency buckets:
+// with no simulated enclave cost model, whole stages finish in microseconds.
+var pipelineBuckets = func() []float64 {
+	return append([]float64{1e-6, 2.5e-6, 5e-6}, obs.DefBuckets...)
+}()
+
+// newPipelineObs builds the pipeline's instruments. With a nil registry the
+// stage histograms still exist (busy accounting); everything else stays nil.
+func newPipelineObs(met issuerObs) pipelineObs {
+	var po pipelineObs
+	for s := 0; s < numStages; s++ {
+		po.stage[s] = obs.NewHistogram(pipelineBuckets)
+	}
+	reg := met.reg
+	if reg == nil {
+		return po
+	}
+	for s := 0; s < numStages; s++ {
+		// The registry keeps the first histogram registered under an
+		// identity: a restarted pipeline adopts its predecessor's series.
+		po.stage[s] = reg.RegisterHistogram("dcert_pipeline_stage_seconds",
+			"Per-block latency of each pipeline stage.", po.stage[s],
+			obs.L("ci", met.id), obs.L("stage", stageNames[s]))
+	}
+	po.queueVerify = reg.Gauge("dcert_pipeline_queue_depth",
+		"Blocks waiting in a pipeline stage queue.", obs.L("ci", met.id), obs.L("queue", "verify"))
+	po.queueCommit = reg.Gauge("dcert_pipeline_queue_depth",
+		"Blocks waiting in a pipeline stage queue.", obs.L("ci", met.id), obs.L("queue", "commit"))
+	po.queueIndex = reg.Gauge("dcert_pipeline_queue_depth",
+		"Blocks waiting in a pipeline stage queue.", obs.L("ci", met.id), obs.L("queue", "index"))
+	po.rollbacks = reg.Counter("dcert_pipeline_rollbacks_total",
+		"Speculative block commits undone on abort or failure.", obs.L("ci", met.id))
+	po.aborts = reg.Counter("dcert_pipeline_aborts_total",
+		"Pipeline failures (first error per stream).", obs.L("ci", met.id))
+	po.blocks = reg.Counter("dcert_pipeline_blocks_total",
+		"Blocks certified through the pipeline.", obs.L("ci", met.id))
+	return po
+}
+
+// observeStage records one stage execution (seconds since start).
+func (po *pipelineObs) observeStage(stage int, start time.Time) {
+	po.stage[stage].Observe(time.Since(start).Seconds())
+}

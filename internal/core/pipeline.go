@@ -10,6 +10,7 @@ import (
 	"dcert/internal/chain"
 	"dcert/internal/chash"
 	"dcert/internal/consensus"
+	"dcert/internal/obs"
 	"dcert/internal/statedb"
 )
 
@@ -103,6 +104,8 @@ type PipelineResult struct {
 }
 
 // PipelineStats aggregates per-stage busy time for occupancy accounting.
+// Busy times and quantiles are read from the pipeline's always-on atomic
+// stage histograms, so snapshotting mid-stream is race-free.
 type PipelineStats struct {
 	// Blocks is the number certified (errors excluded).
 	Blocks int
@@ -112,6 +115,12 @@ type PipelineStats struct {
 	ExecBusy   time.Duration
 	CommitBusy time.Duration
 	IndexBusy  time.Duration
+	// VerifyP99, ExecP99, CommitP99, IndexP99 are per-block p99 stage
+	// latencies (zero for stages that processed nothing).
+	VerifyP99 time.Duration
+	ExecP99   time.Duration
+	CommitP99 time.Duration
+	IndexP99  time.Duration
 	// Wall is first-submit to pipeline-drained.
 	Wall time.Duration
 }
@@ -121,6 +130,9 @@ type pipeItem struct {
 	blk      *chain.Block
 	verified chan error // capacity 1: verify stage → executor
 	res      *PipelineResult
+	// span is the block's root trace span (no-op without a tracer); stage
+	// goroutines hang child spans off it.
+	span obs.SpanHandle
 	// prepared state, set by the executor:
 	proof  *statedb.UpdateProof
 	writes map[string][]byte
@@ -163,7 +175,10 @@ type Pipeline struct {
 	failed  atomic.Bool
 	started time.Time
 	stats   PipelineStats
-	busy    [4]time.Duration // per-stage busy: verify, exec, commit, index
+
+	// po carries the stage histograms (always-on: they are also the busy
+	// accounting) plus registered queue/abort/rollback instruments.
+	po pipelineObs
 
 	wg   sync.WaitGroup
 	done chan struct{}
@@ -194,7 +209,10 @@ func NewPipeline(ci *Issuer, cfg PipelineConfig) (*Pipeline, error) {
 		out:     make(chan *PipelineResult, cfg.Depth),
 		done:    make(chan struct{}),
 	}
+	pl.po = newPipelineObs(ci.met)
 	pl.started = time.Now()
+	ci.met.logger.Debug("pipeline started",
+		obs.F("workers", cfg.Workers), obs.F("depth", cfg.Depth))
 
 	for w := 0; w < cfg.Workers; w++ {
 		pl.wg.Add(1)
@@ -223,9 +241,11 @@ func (pl *Pipeline) Submit(blk *chain.Block) error {
 		blk:      blk,
 		verified: make(chan error, 1),
 		res:      &PipelineResult{Block: blk},
+		span:     pl.ci.met.tracer.Start("pipeline.block", 0),
 	}
 	// Both sends under the lock: orderCh defines result order, verifyCh
 	// feeds the workers; the two must enqueue identically.
+	pl.po.queueVerify.Add(1)
 	pl.orderCh <- item
 	pl.verifyCh <- item
 	return nil
@@ -274,34 +294,49 @@ func (pl *Pipeline) Err() error {
 	return pl.failErr
 }
 
-// Stats snapshots stage accounting. Wall stops ticking once drained.
+// Stats snapshots stage accounting. Wall stops ticking once drained. Safe to
+// call concurrently with a running pipeline: busy times and quantiles come
+// from the atomic stage histograms, never from stage-goroutine writes.
 func (pl *Pipeline) Stats() PipelineStats {
 	pl.mu.Lock()
-	defer pl.mu.Unlock()
 	s := pl.stats
-	s.VerifyBusy = pl.busy[0]
-	s.ExecBusy = pl.busy[1]
-	s.CommitBusy = pl.busy[2]
-	s.IndexBusy = pl.busy[3]
 	if s.Wall == 0 {
 		s.Wall = time.Since(pl.started)
 	}
+	pl.mu.Unlock()
+	s.VerifyBusy = pl.po.stage[stageVerify].SumDuration()
+	s.ExecBusy = pl.po.stage[stageExec].SumDuration()
+	s.CommitBusy = pl.po.stage[stageCommit].SumDuration()
+	s.IndexBusy = pl.po.stage[stageIndex].SumDuration()
+	s.VerifyP99 = stageP99(pl.po.stage[stageVerify])
+	s.ExecP99 = stageP99(pl.po.stage[stageExec])
+	s.CommitP99 = stageP99(pl.po.stage[stageCommit])
+	s.IndexP99 = stageP99(pl.po.stage[stageIndex])
 	return s
+}
+
+// stageP99 estimates a stage's p99 latency from its histogram (zero while
+// the stage has observed nothing).
+func stageP99(h *obs.Histogram) time.Duration {
+	snap := h.Snapshot()
+	if snap.Count == 0 {
+		return 0
+	}
+	return time.Duration(snap.Quantile(0.99) * float64(time.Second))
 }
 
 func (pl *Pipeline) fail(err error) {
 	pl.mu.Lock()
-	if pl.failErr == nil {
+	first := pl.failErr == nil
+	if first {
 		pl.failErr = err
 	}
 	pl.mu.Unlock()
 	pl.failed.Store(true)
-}
-
-func (pl *Pipeline) addBusy(stage int, d time.Duration) {
-	pl.mu.Lock()
-	pl.busy[stage] += d
-	pl.mu.Unlock()
+	if first {
+		pl.po.aborts.Inc()
+		pl.ci.met.logger.Warn("pipeline aborted", obs.ErrField(err))
+	}
 }
 
 // verifier is the stateless stage: anything checkable without the state
@@ -309,13 +344,16 @@ func (pl *Pipeline) addBusy(stage int, d time.Duration) {
 func (pl *Pipeline) verifier() {
 	defer pl.wg.Done()
 	for item := range pl.verifyCh {
+		pl.po.queueVerify.Add(-1)
 		if pl.failed.Load() {
 			item.verified <- ErrPipelineAborted
 			continue
 		}
+		sp := pl.ci.met.tracer.Start("pipeline.verify", item.span.ID())
 		start := time.Now()
 		err := pl.verifyStateless(item.blk)
-		pl.addBusy(0, time.Since(start))
+		pl.po.observeStage(stageVerify, start)
+		sp.End()
 		item.verified <- err
 	}
 }
@@ -343,24 +381,29 @@ func (pl *Pipeline) executor() {
 		verr := <-item.verified
 		if pl.failed.Load() {
 			item.res.Err = pl.abortErr()
+			pl.po.queueCommit.Add(1)
 			pl.commitCh <- item
 			continue
 		}
 		if verr != nil {
 			item.res.Err = verr
 			pl.fail(verr)
+			pl.po.queueCommit.Add(1)
 			pl.commitCh <- item
 			continue
 		}
+		sp := pl.ci.met.tracer.Start("pipeline.execute", item.span.ID())
 		start := time.Now()
 		err := pl.executeSpeculative(specTip, item)
-		pl.addBusy(1, time.Since(start))
+		pl.po.observeStage(stageExec, start)
+		sp.End()
 		if err != nil {
 			item.res.Err = err
 			pl.fail(err)
 		} else {
 			specTip = item.blk
 		}
+		pl.po.queueCommit.Add(1)
 		pl.commitCh <- item
 	}
 }
@@ -420,15 +463,19 @@ func (pl *Pipeline) committer() {
 	defer close(pl.indexCh)
 	prev, prevCert := pl.ci.certifiedTip()
 	for item := range pl.commitCh {
+		pl.po.queueCommit.Add(-1)
 		if item.res.Err == nil && !pl.failed.Load() {
+			sp := pl.ci.met.tracer.Start("pipeline.commit", item.span.ID())
 			start := time.Now()
 			err := pl.commitOne(prev, prevCert, item)
-			pl.addBusy(2, time.Since(start))
+			pl.po.observeStage(stageCommit, start)
+			sp.End()
 			if err != nil {
 				item.res.Err = err
 				pl.fail(err)
 			} else {
 				prev, prevCert = item.blk, item.res.Cert
+				pl.po.blocks.Inc()
 				pl.mu.Lock()
 				pl.stats.Blocks++
 				pl.mu.Unlock()
@@ -437,8 +484,10 @@ func (pl *Pipeline) committer() {
 			item.res.Err = pl.abortErr()
 		}
 		if pl.cfg.IndexJobs != nil {
+			pl.po.queueIndex.Add(1)
 			pl.indexCh <- item
 		} else {
+			item.span.End()
 			pl.out <- item.res
 		}
 	}
@@ -470,15 +519,19 @@ func (pl *Pipeline) commitOne(prev *chain.Block, prevCert *Certificate, item *pi
 func (pl *Pipeline) indexer() {
 	defer pl.wg.Done()
 	for item := range pl.indexCh {
+		pl.po.queueIndex.Add(-1)
 		if item.res.Err == nil && !pl.failed.Load() {
+			sp := pl.ci.met.tracer.Start("pipeline.index", item.span.ID())
 			start := time.Now()
 			err := pl.indexOne(item)
-			pl.addBusy(3, time.Since(start))
+			pl.po.observeStage(stageIndex, start)
+			sp.End()
 			if err != nil {
 				item.res.Err = err
 				pl.fail(err)
 			}
 		}
+		item.span.End()
 		pl.out <- item.res
 	}
 }
@@ -542,6 +595,11 @@ func (pl *Pipeline) rollback() {
 	pending := pl.undo
 	pl.undo = nil
 	pl.mu.Unlock()
+	if len(pending) > 0 {
+		pl.po.rollbacks.Add(uint64(len(pending)))
+		pl.ci.met.logger.Warn("rolling back speculative commits",
+			obs.F("blocks", len(pending)))
+	}
 	state := pl.ci.node.State()
 	for i := len(pending) - 1; i >= 0; i-- {
 		for _, e := range pending[i].entries {

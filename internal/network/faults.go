@@ -59,12 +59,38 @@ type delivery struct {
 	delay time.Duration
 }
 
+// verdict records what the fault layer decided for one publish, so the
+// fabric's instrumentation can count exactly what was injected.
+type verdict struct {
+	dropped     bool
+	partitioned bool
+	duplicated  bool
+	reordered   bool
+}
+
+// FaultTally is the fault layer's own ledger of what it did to one topic's
+// publishes — the ground truth that instrumentation counters must reconcile
+// against (injected drops == counted drops).
+type FaultTally struct {
+	// Published counts publishes that reached the fault layer.
+	Published uint64
+	// Dropped counts rule-induced silent losses.
+	Dropped uint64
+	// Partitioned counts publishes lost to an active topic partition.
+	Partitioned uint64
+	// Duplicated counts publishes delivered twice.
+	Duplicated uint64
+	// Reordered counts publishes (or their duplicates) held back.
+	Reordered uint64
+}
+
 // faultState is the per-network runtime of a FaultPlan.
 type faultState struct {
 	mu          sync.Mutex
 	rng         *rand.Rand
 	rules       []FaultRule
 	partitioned map[string]bool
+	tally       map[string]*FaultTally
 }
 
 func newFaultState(plan *FaultPlan) *faultState {
@@ -74,16 +100,27 @@ func newFaultState(plan *FaultPlan) *faultState {
 		rng:         rand.New(rand.NewSource(plan.Seed)),
 		rules:       rules,
 		partitioned: make(map[string]bool),
+		tally:       make(map[string]*FaultTally),
 	}
 }
 
 // plan decides the fate of one published message: the returned slice holds
-// one entry per copy to deliver (empty means dropped or partitioned).
-func (f *faultState) plan(topic, from string) []delivery {
+// one entry per copy to deliver (empty means dropped or partitioned), and the
+// verdict reports which perturbations were applied.
+func (f *faultState) plan(topic, from string) ([]delivery, verdict) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	t := f.tally[topic]
+	if t == nil {
+		t = &FaultTally{}
+		f.tally[topic] = t
+	}
+	t.Published++
+	var v verdict
 	if f.partitioned[topic] {
-		return nil
+		v.partitioned = true
+		t.Partitioned++
+		return nil, v
 	}
 	var rule *FaultRule
 	for i := range f.rules {
@@ -93,14 +130,18 @@ func (f *faultState) plan(topic, from string) []delivery {
 		}
 	}
 	if rule == nil {
-		return []delivery{{}}
+		return []delivery{{}}, v
 	}
 	if rule.Drop > 0 && f.rng.Float64() < rule.Drop {
-		return nil
+		v.dropped = true
+		t.Dropped++
+		return nil, v
 	}
 	copies := 1
 	if rule.Duplicate > 0 && f.rng.Float64() < rule.Duplicate {
 		copies = 2
+		v.duplicated = true
+		t.Duplicated++
 	}
 	out := make([]delivery, 0, copies)
 	for i := 0; i < copies; i++ {
@@ -111,13 +152,34 @@ func (f *faultState) plan(topic, from string) []delivery {
 				hold = defaultReorderDelay
 			}
 			d.delay += hold
+			if !v.reordered {
+				v.reordered = true
+				t.Reordered++
+			}
 		}
 		if rule.JitterMax > 0 {
 			d.delay += time.Duration(f.rng.Int63n(int64(rule.JitterMax)))
 		}
 		out = append(out, d)
 	}
-	return out
+	return out, v
+}
+
+// FaultTally returns the fault layer's ledger for one topic (zero without an
+// installed plan or before the topic's first publish).
+func (n *Network) FaultTally(topic string) FaultTally {
+	n.mu.Lock()
+	f := n.faults
+	n.mu.Unlock()
+	if f == nil {
+		return FaultTally{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if t := f.tally[topic]; t != nil {
+		return *t
+	}
+	return FaultTally{}
 }
 
 func (f *faultState) setPartition(topic string, cut bool) {

@@ -1,0 +1,88 @@
+package network
+
+import (
+	"sync"
+
+	"dcert/internal/obs"
+)
+
+// Fabric instrumentation: per-topic counters for what the fault layer did to
+// published messages. Counters are created lazily on a topic's first publish
+// and cached, so the steady-state publish path pays one map lookup under a
+// dedicated lock — the fabric stays uninstrumented (nil netObs, one branch)
+// unless Instrument is called.
+
+// netObs caches per-topic counter sets against a registry.
+type netObs struct {
+	reg *obs.Registry
+
+	mu     sync.Mutex
+	topics map[string]*topicCounters
+}
+
+type topicCounters struct {
+	published   *obs.Counter
+	delivered   *obs.Counter
+	dropped     *obs.Counter
+	partitioned *obs.Counter
+	duplicated  *obs.Counter
+	reordered   *obs.Counter
+}
+
+func (o *netObs) counters(topic string) *topicCounters {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	tc := o.topics[topic]
+	if tc == nil {
+		tc = &topicCounters{
+			published: o.reg.Counter("dcert_net_published_total",
+				"Messages published per topic.", obs.L("topic", topic)),
+			delivered: o.reg.Counter("dcert_net_delivered_total",
+				"Delivery fan-outs per topic (duplicates counted).", obs.L("topic", topic)),
+			dropped: o.reg.Counter("dcert_net_dropped_total",
+				"Messages lost to fault-rule drops per topic.", obs.L("topic", topic)),
+			partitioned: o.reg.Counter("dcert_net_partitioned_total",
+				"Messages lost to topic partitions.", obs.L("topic", topic)),
+			duplicated: o.reg.Counter("dcert_net_duplicated_total",
+				"Messages duplicated by fault rules per topic.", obs.L("topic", topic)),
+			reordered: o.reg.Counter("dcert_net_reordered_total",
+				"Messages held back for reordering per topic.", obs.L("topic", topic)),
+		}
+		o.topics[topic] = tc
+	}
+	return tc
+}
+
+// record counts one publish outcome.
+func (o *netObs) record(topic string, copies int, v verdict) {
+	if o == nil {
+		return
+	}
+	tc := o.counters(topic)
+	tc.published.Inc()
+	tc.delivered.Add(uint64(copies))
+	if v.dropped {
+		tc.dropped.Inc()
+	}
+	if v.partitioned {
+		tc.partitioned.Inc()
+	}
+	if v.duplicated {
+		tc.duplicated.Inc()
+	}
+	if v.reordered {
+		tc.reordered.Inc()
+	}
+}
+
+// Instrument attaches the fabric to a metrics registry: every subsequent
+// publish counts its outcome per topic. A nil registry detaches.
+func (n *Network) Instrument(reg *obs.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if reg == nil {
+		n.obs = nil
+		return
+	}
+	n.obs = &netObs{reg: reg, topics: make(map[string]*topicCounters)}
+}

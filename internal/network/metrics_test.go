@@ -1,0 +1,124 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"dcert/internal/obs"
+)
+
+// TestFaultCountersReconcile publishes through a seeded fault plan with an
+// instrumented fabric and checks the registry counters agree exactly with the
+// fault layer's own ledger — and that the ledger accounts for every publish.
+func TestFaultCountersReconcile(t *testing.T) {
+	n := New()
+	defer n.Close()
+	reg := obs.NewRegistry()
+	n.Instrument(reg)
+	n.SetFaults(&FaultPlan{
+		Seed: 42,
+		Rules: []FaultRule{
+			{Topic: "chaos", Drop: 0.3, Duplicate: 0.2, Reorder: 0.2},
+		},
+	})
+
+	sub := n.Subscribe("chaos", 4096)
+	defer sub.Cancel()
+
+	const published = 500
+	for i := 0; i < published; i++ {
+		if err := n.Publish("chaos", "pub", i); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+
+	tally := n.FaultTally("chaos")
+	if tally.Published != published {
+		t.Fatalf("tally published = %d, want %d", tally.Published, published)
+	}
+	if tally.Dropped == 0 || tally.Duplicated == 0 || tally.Reordered == 0 {
+		t.Fatalf("seeded plan injected nothing: %+v", tally)
+	}
+
+	counter := func(name string) uint64 {
+		return reg.Counter(name, "", obs.L("topic", "chaos")).Value()
+	}
+	if got := counter("dcert_net_published_total"); got != tally.Published {
+		t.Errorf("published counter = %d, tally %d", got, tally.Published)
+	}
+	if got := counter("dcert_net_dropped_total"); got != tally.Dropped {
+		t.Errorf("dropped counter = %d, tally %d", got, tally.Dropped)
+	}
+	if got := counter("dcert_net_duplicated_total"); got != tally.Duplicated {
+		t.Errorf("duplicated counter = %d, tally %d", got, tally.Duplicated)
+	}
+	if got := counter("dcert_net_reordered_total"); got != tally.Reordered {
+		t.Errorf("reordered counter = %d, tally %d", got, tally.Reordered)
+	}
+	// Delivery fan-outs: every non-dropped publish delivers once, plus one
+	// extra per duplication.
+	wantDelivered := tally.Published - tally.Dropped + tally.Duplicated
+	if got := counter("dcert_net_delivered_total"); got != wantDelivered {
+		t.Errorf("delivered counter = %d, want %d", got, wantDelivered)
+	}
+}
+
+// TestPartitionCounted cuts a topic and checks partition losses are tallied
+// separately from rule drops.
+func TestPartitionCounted(t *testing.T) {
+	n := New()
+	defer n.Close()
+	reg := obs.NewRegistry()
+	n.Instrument(reg)
+	n.SetFaults(&FaultPlan{})
+
+	sub := n.Subscribe("certs", 16)
+	defer sub.Cancel()
+
+	n.Partition("certs")
+	for i := 0; i < 3; i++ {
+		if err := n.Publish("certs", "ci", i); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	n.Heal("certs")
+	if err := n.Publish("certs", "ci", 99); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+
+	tally := n.FaultTally("certs")
+	if tally.Partitioned != 3 || tally.Dropped != 0 || tally.Published != 4 {
+		t.Fatalf("tally = %+v, want 3 partitioned / 0 dropped / 4 published", tally)
+	}
+	if got := reg.Counter("dcert_net_partitioned_total", "", obs.L("topic", "certs")).Value(); got != 3 {
+		t.Errorf("partitioned counter = %d, want 3", got)
+	}
+	select {
+	case m := <-sub.C:
+		if m.Payload != 99 {
+			t.Errorf("payload = %v, want 99", m.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Error("healed publish not delivered")
+	}
+}
+
+// TestUninstrumentedFabric checks the fabric works with no registry attached
+// (nil netObs path) and that FaultTally is zero without a plan.
+func TestUninstrumentedFabric(t *testing.T) {
+	n := New()
+	defer n.Close()
+	sub := n.Subscribe("blocks", 4)
+	defer sub.Cancel()
+	if err := n.Publish("blocks", "miner", "b1"); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	select {
+	case <-sub.C:
+	case <-time.After(time.Second):
+		t.Fatal("delivery missing")
+	}
+	if tally := n.FaultTally("blocks"); tally != (FaultTally{}) {
+		t.Fatalf("tally without plan = %+v, want zero", tally)
+	}
+}

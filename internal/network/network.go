@@ -51,6 +51,7 @@ type Network struct {
 	subs    map[string][]*Subscription
 	latency time.Duration
 	faults  *faultState
+	obs     *netObs
 	closed  bool
 	wg      sync.WaitGroup
 }
@@ -155,12 +156,15 @@ func (n *Network) Publish(topic, from string, payload any) error {
 	targets := make([]*Subscription, len(n.subs[topic]))
 	copy(targets, n.subs[topic])
 	faults := n.faults
+	o := n.obs
 	n.mu.Unlock()
 
 	copies := []delivery{{}}
+	var v verdict
 	if faults != nil {
-		copies = faults.plan(topic, from)
+		copies, v = faults.plan(topic, from)
 	}
+	o.record(topic, len(copies), v)
 
 	msg := Message{Topic: topic, From: from, Payload: payload}
 	for _, c := range copies {

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// Hot-path cost of the instrumentation primitives. The acceptance budget
+// for the instrumented pipeline is ≤1 alloc/op per stage, which these
+// primitives must underwrite with 0 allocs/op each (EXPERIMENTS.md records
+// a reference run).
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncNil(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("bench_gauge", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(DefBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkHistogramObserveNil(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkHistogramObserveDuration(b *testing.B) {
+	h := NewHistogram(DefBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveDuration(42 * time.Microsecond)
+	}
+}
+
+func BenchmarkSpanStartEnd(b *testing.B) {
+	tr := NewTracer(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("bench.op", 0)
+		sp.End()
+	}
+}
+
+func BenchmarkSpanStartEndNil(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("bench.op", 0)
+		sp.End()
+	}
+}
+
+func BenchmarkLoggerBelowThreshold(b *testing.B) {
+	lg := NewLogger(nilWriter{}, LevelError)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lg.Debug("dropped")
+	}
+}
+
+type nilWriter struct{}
+
+func (nilWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency bucket upper bounds in seconds,
+// spanning the ~10µs enclave transition to multi-second chaos stalls.
+var DefBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket atomic histogram. Observations are
+// non-negative float64s (the hot paths feed it seconds). Observe is
+// lock-free and allocation-free; Snapshot (cold) copies the counters and
+// derives quantiles.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; implicit +Inf last
+	counts []atomic.Uint64 // len(bounds)+1
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram creates a histogram with the given ascending bucket upper
+// bounds (nil = DefBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value. Values land in the first bucket whose upper
+// bound is >= v (Prometheus "le" semantics); values beyond every bound land
+// in the implicit +Inf bucket.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running total of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// SumDuration returns Sum interpreted as seconds.
+func (h *Histogram) SumDuration() time.Duration {
+	return time.Duration(h.Sum() * float64(time.Second))
+}
+
+// HistogramSnapshot is a consistent-enough point-in-time copy (buckets are
+// read individually; a snapshot taken mid-Observe may be off by one
+// observation, which quantile estimation tolerates).
+type HistogramSnapshot struct {
+	// Bounds are the finite bucket upper bounds.
+	Bounds []float64
+	// Buckets are per-bucket (non-cumulative) counts; the last entry is the
+	// +Inf bucket.
+	Buckets []uint64
+	// Count and Sum aggregate all observations.
+	Count uint64
+	Sum   float64
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds:  h.bounds,
+		Buckets: make([]uint64, len(h.counts)),
+		Count:   h.count.Load(),
+		Sum:     h.Sum(),
+	}
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket containing the target rank, the same estimator
+// Prometheus' histogram_quantile uses:
+//
+//   - the first bucket interpolates from 0 (observations are non-negative);
+//   - the +Inf bucket returns the largest finite bound (the estimate is
+//     clamped — there is no upper edge to interpolate toward);
+//   - an empty histogram returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := uint64(0)
+	for i, c := range s.Buckets {
+		prev := float64(cum)
+		cum += c
+		// Target the lowest non-empty bucket whose cumulative count reaches
+		// the rank (cum > 0 skips leading empty buckets when rank is 0).
+		if float64(cum) < rank || cum == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: clamp to the largest finite bound — there is no
+			// upper edge to interpolate toward.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		return lo + (hi-lo)*((rank-prev)/float64(c))
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// P50, P95 and P99 are convenience quantiles.
+func (s HistogramSnapshot) P50() float64 { return s.Quantile(0.50) }
+
+// P95 estimates the 95th percentile.
+func (s HistogramSnapshot) P95() float64 { return s.Quantile(0.95) }
+
+// P99 estimates the 99th percentile.
+func (s HistogramSnapshot) P99() float64 { return s.Quantile(0.99) }
+
+// QuantileDuration returns Quantile as a time.Duration of seconds.
+func (s HistogramSnapshot) QuantileDuration(q float64) time.Duration {
+	return time.Duration(s.Quantile(q) * float64(time.Second))
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func almostEq(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+// TestHistogramBucketEdges pins the le-inclusive bucket assignment: a value
+// exactly on a bound lands in that bound's bucket, just above lands in the
+// next.
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(1)      // bucket le=1
+	h.Observe(1.0001) // bucket le=2
+	h.Observe(2)      // bucket le=2
+	h.Observe(4)      // bucket le=4
+	h.Observe(4.5)    // +Inf
+	s := h.Snapshot()
+	want := []uint64{1, 2, 1, 1}
+	for i, w := range want {
+		if s.Buckets[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (buckets %v)", i, s.Buckets[i], w, s.Buckets)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if !almostEq(s.Sum, 1+1.0001+2+4+4.5) {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+// TestQuantileMath checks interpolation including all the edge cases: exact
+// bucket-edge ranks, the first bucket (interpolates from 0), the +Inf
+// bucket (clamps to the largest finite bound), empty histograms, and
+// out-of-range q.
+func TestQuantileMath(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// 10 observations in le=1, 10 in le=2: cumulative 10, 20.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	s := h.Snapshot()
+
+	// q=0.5 → rank 10, exactly the top of the first bucket: interpolate to
+	// its upper bound.
+	if q := s.Quantile(0.5); !almostEq(q, 1) {
+		t.Fatalf("p50 = %v, want 1 (rank at bucket edge)", q)
+	}
+	// q=0.25 → rank 5, midway through the first bucket: 0 + 1*(5/10).
+	if q := s.Quantile(0.25); !almostEq(q, 0.5) {
+		t.Fatalf("p25 = %v, want 0.5", q)
+	}
+	// q=0.75 → rank 15, midway through the second bucket: 1 + (2-1)*(5/10).
+	if q := s.Quantile(0.75); !almostEq(q, 1.5) {
+		t.Fatalf("p75 = %v, want 1.5", q)
+	}
+	// q=1 → rank 20, the very top of the populated range.
+	if q := s.Quantile(1); !almostEq(q, 2) {
+		t.Fatalf("p100 = %v, want 2", q)
+	}
+	// q=0 → rank 0: the bottom edge of the first non-empty bucket.
+	if q := s.Quantile(0); !almostEq(q, 0) {
+		t.Fatalf("p0 = %v, want 0", q)
+	}
+	// Out-of-range q clamps.
+	if q := s.Quantile(-0.5); !almostEq(q, 0) {
+		t.Fatalf("q<0 = %v, want 0", q)
+	}
+	if q := s.Quantile(1.5); !almostEq(q, 2) {
+		t.Fatalf("q>1 = %v, want 2", q)
+	}
+}
+
+// TestQuantileInfBucket: when the target rank falls in the +Inf bucket the
+// estimate clamps to the largest finite bound instead of inventing a value.
+func TestQuantileInfBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(10) // +Inf bucket
+	s := h.Snapshot()
+	if q := s.Quantile(0.99); !almostEq(q, 2) {
+		t.Fatalf("p99 = %v, want clamp to 2", q)
+	}
+}
+
+// TestQuantileLeadingEmptyBuckets: rank 0 must skip empty leading buckets
+// rather than report their range.
+func TestQuantileLeadingEmptyBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(3) // only the le=4 bucket is populated
+	s := h.Snapshot()
+	if q := s.Quantile(0); !almostEq(q, 2) {
+		t.Fatalf("p0 = %v, want 2 (lower edge of the populated bucket)", q)
+	}
+	if q := s.Quantile(1); !almostEq(q, 4) {
+		t.Fatalf("p100 = %v, want 4", q)
+	}
+}
+
+// TestQuantileEmpty: empty and degenerate histograms report 0.
+func TestQuantileEmpty(t *testing.T) {
+	if q := NewHistogram([]float64{1}).Snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v", q)
+	}
+	h := NewHistogram([]float64{})
+	h.Observe(1)
+	if q := h.Snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("boundless histogram quantile = %v", q)
+	}
+}
+
+// TestObserveDuration: durations are recorded in seconds and SumDuration
+// round-trips.
+func TestObserveDuration(t *testing.T) {
+	h := NewHistogram(DefBuckets)
+	h.ObserveDuration(250 * time.Millisecond)
+	h.ObserveDuration(750 * time.Millisecond)
+	if got := h.SumDuration(); got != time.Second {
+		t.Fatalf("SumDuration = %v, want 1s", got)
+	}
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}

@@ -1,0 +1,306 @@
+// Package obs is the instrumentation plane: a dependency-free metrics
+// registry (atomic counters, gauges, fixed-bucket histograms with quantile
+// snapshots), lightweight span tracing, a leveled structured logger, and a
+// DebugServer exposing it all over HTTP (/metrics in Prometheus text format,
+// /debug/spans, /healthz, net/http/pprof).
+//
+// Two properties govern every type here, because the package is threaded
+// through the certification hot paths:
+//
+//   - nil safety: every method on every instrument is a no-op on a nil
+//     receiver, so uninstrumented components carry nil fields and pay one
+//     predictable branch — all existing code runs unchanged with no
+//     registry attached.
+//   - allocation freedom: recording (Counter.Inc, Gauge.Set,
+//     Histogram.Observe, SpanHandle.End) never allocates; only registration
+//     and snapshotting (cold paths) do.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension, rendered as {key="value"}.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label {
+	return Label{Key: key, Value: value}
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the value by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value reads the gauge (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// metric is one registered instrument plus its identity.
+type metric struct {
+	name   string
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups same-name metrics for one HELP/TYPE header.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter", "gauge", "histogram"
+	metrics []*metric
+	byKey   map[string]*metric // label signature → metric
+}
+
+// Registry holds named instruments and renders them in Prometheus text
+// format. The zero registry is not usable; a nil *Registry is: every
+// constructor returns a nil instrument, whose methods no-op.
+//
+// Registry is safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // family registration order (stable /metrics output)
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKey is the canonical label signature (sorted by key).
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	return b.String()
+}
+
+// get returns the family (creating it) and the existing metric for the label
+// set, if any. Caller holds r.mu.
+func (r *Registry) get(name, help, typ string, labels []Label) (*family, *metric) {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, byKey: make(map[string]*metric)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	return f, f.byKey[labelKey(labels)]
+}
+
+// add registers a new metric in the family. Caller holds r.mu.
+func (f *family) add(m *metric) {
+	f.metrics = append(f.metrics, m)
+	f.byKey[labelKey(m.labels)] = m
+}
+
+// Counter returns the counter registered under (name, labels), creating it
+// on first use. Same identity → same instrument, so components re-created
+// across restarts (issuer failover) keep accumulating into one series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, m := r.get(name, help, "counter", labels)
+	if m != nil {
+		return m.c
+	}
+	c := &Counter{}
+	f.add(&metric{name: name, labels: append([]Label(nil), labels...), c: c})
+	return c
+}
+
+// Gauge returns the gauge registered under (name, labels).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, m := r.get(name, help, "gauge", labels)
+	if m != nil {
+		return m.g
+	}
+	g := &Gauge{}
+	f.add(&metric{name: name, labels: append([]Label(nil), labels...), g: g})
+	return g
+}
+
+// Histogram returns the histogram registered under (name, labels), with the
+// given bucket upper bounds (nil = DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, m := r.get(name, help, "histogram", labels)
+	if m != nil {
+		return m.h
+	}
+	h := NewHistogram(buckets)
+	f.add(&metric{name: name, labels: append([]Label(nil), labels...), h: h})
+	return h
+}
+
+// RegisterHistogram attaches an externally created histogram (e.g. a
+// pipeline's always-on stage histogram) under a registry name. If the
+// identity already exists, the existing histogram wins and is returned;
+// otherwise h itself is registered and returned.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) *Histogram {
+	if r == nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, m := r.get(name, help, "histogram", labels)
+	if m != nil {
+		return m.h
+	}
+	f.add(&metric{name: name, labels: append([]Label(nil), labels...), h: h})
+	return h
+}
+
+// formatFloat renders a float the way Prometheus text format expects.
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+// renderLabels renders {k="v",...} (empty string for no labels).
+func renderLabels(labels []Label, extra ...Label) string {
+	all := make([]Label, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format, families in registration order, series in creation
+// order within a family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	order := append([]string(nil), r.order...)
+	fams := make([]*family, 0, len(order))
+	for _, name := range order {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, m := range f.metrics {
+			switch {
+			case m.c != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", m.name, renderLabels(m.labels), m.c.Value())
+			case m.g != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", m.name, renderLabels(m.labels), m.g.Value())
+			case m.h != nil:
+				s := m.h.Snapshot()
+				cum := uint64(0)
+				for i, bc := range s.Buckets {
+					cum += bc
+					le := "+Inf"
+					if i < len(s.Bounds) {
+						le = formatFloat(s.Bounds[i])
+					}
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, renderLabels(m.labels, L("le", le)), cum)
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n", m.name, renderLabels(m.labels), formatFloat(s.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", m.name, renderLabels(m.labels), s.Count)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety: every instrument and the registry itself must no-op (not
+// panic) when nil, because uninstrumented components carry nil fields.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "h")
+	g := r.Gauge("g", "h")
+	h := r.Histogram("hist", "h", nil)
+	var tr *Tracer
+	var lg *Logger
+
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	h.Observe(1)
+	h.ObserveDuration(0)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+	if q := h.Snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("nil histogram quantile = %v", q)
+	}
+	sp := tr.Start("x", 0)
+	sp.End()
+	if tr.Recent(10) != nil || tr.Total() != 0 {
+		t.Fatal("nil tracer recorded")
+	}
+	lg.Info("msg", F("k", "v"))
+	lg.With(F("a", 1)).Error("msg")
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Fatalf("nil registry write: %v", err)
+	}
+}
+
+// TestRegistryIdentity: same (name, labels) returns the same instrument, so
+// restarted components keep accumulating into one series; label order must
+// not matter.
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", L("ci", "ci0"), L("kind", "block"))
+	b := r.Counter("x_total", "help", L("kind", "block"), L("ci", "ci0"))
+	if a != b {
+		t.Fatal("label order changed identity")
+	}
+	c := r.Counter("x_total", "help", L("ci", "ci1"), L("kind", "block"))
+	if a == c {
+		t.Fatal("distinct labels shared an instrument")
+	}
+	a.Add(2)
+	b.Inc()
+	if a.Value() != 3 {
+		t.Fatalf("shared counter = %d, want 3", a.Value())
+	}
+}
+
+// TestPrometheusGolden pins the full /metrics text format: HELP/TYPE
+// headers, label rendering, histogram cumulative buckets with le edges, sum
+// and count lines, family registration order.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	blocks := r.Counter("dcert_blocks_total", "Blocks certified.", L("ci", "ci0"))
+	blocks.Add(12)
+	r.Counter("dcert_blocks_total", "Blocks certified.", L("ci", "ci1")).Add(7)
+	depth := r.Gauge("dcert_queue_depth", "Verify queue depth.")
+	depth.Set(3)
+	h := r.Histogram("dcert_stage_seconds", "Stage latency.", []float64{0.001, 0.01, 0.1}, L("stage", "verify"))
+	h.Observe(0.0005)
+	h.Observe(0.001) // exactly on a bucket edge: le="0.001" is inclusive
+	h.Observe(0.05)
+	h.Observe(5) // beyond every bound: +Inf bucket
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# HELP dcert_blocks_total Blocks certified.
+# TYPE dcert_blocks_total counter
+dcert_blocks_total{ci="ci0"} 12
+dcert_blocks_total{ci="ci1"} 7
+# HELP dcert_queue_depth Verify queue depth.
+# TYPE dcert_queue_depth gauge
+dcert_queue_depth 3
+# HELP dcert_stage_seconds Stage latency.
+# TYPE dcert_stage_seconds histogram
+dcert_stage_seconds_bucket{le="0.001",stage="verify"} 2
+dcert_stage_seconds_bucket{le="0.01",stage="verify"} 2
+dcert_stage_seconds_bucket{le="0.1",stage="verify"} 3
+dcert_stage_seconds_bucket{le="+Inf",stage="verify"} 4
+dcert_stage_seconds_sum{stage="verify"} 5.0515
+dcert_stage_seconds_count{stage="verify"} 4
+`
+	if got := b.String(); got != want {
+		t.Fatalf("prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestCounterConcurrency hammers one counter and one histogram from many
+// goroutines; totals must be exact (atomics, not torn read-modify-write).
+func TestCounterConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h_seconds", "", []float64{1, 2})
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("histogram count = %d, want %d", s.Count, workers*per)
+	}
+	if want := 1.5 * workers * per; s.Sum < want-0.01 || s.Sum > want+0.01 {
+		t.Fatalf("histogram sum = %v, want %v", s.Sum, want)
+	}
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// DebugServer exposes the instrumentation plane over HTTP:
+//
+//	/metrics       — the registry in Prometheus text exposition format
+//	/debug/spans   — the tracer's recent spans as JSON (?limit=N)
+//	/healthz       — liveness JSON (tip height + certificate freshness);
+//	                 200 while healthy, 503 once the tip goes stale
+//	/debug/pprof/  — the standard Go profiling endpoints
+//
+// It listens on its own mux (never the default one), supports ":0" for an
+// ephemeral port, and Close releases the port synchronously — start/stop
+// cycles do not leak listeners.
+
+// Health is the /healthz payload.
+type Health struct {
+	// OK is the overall verdict (mirrored in the HTTP status).
+	OK bool `json:"ok"`
+	// TipHeight is the certified chain tip.
+	TipHeight uint64 `json:"tip_height"`
+	// CertAgeSeconds is how long ago the newest certificate landed
+	// (negative when no certificate exists yet).
+	CertAgeSeconds float64 `json:"cert_age_seconds"`
+	// Detail carries an optional human-readable note.
+	Detail string `json:"detail,omitempty"`
+}
+
+// DebugServerConfig assembles a DebugServer. Any nil field simply disables
+// its endpoint's content (the route still responds).
+type DebugServerConfig struct {
+	// Registry feeds /metrics.
+	Registry *Registry
+	// Tracer feeds /debug/spans.
+	Tracer *Tracer
+	// Health feeds /healthz; nil reports a static OK.
+	Health func() Health
+	// Logger, when set, records serve lifecycle events.
+	Logger *Logger
+}
+
+// DebugServer is a running debug endpoint.
+type DebugServer struct {
+	lis    net.Listener
+	srv    *http.Server
+	logger *Logger
+	done   chan struct{}
+}
+
+// StartDebugServer listens on addr (host:port; port 0 picks a free one) and
+// serves the debug endpoints until Close.
+func StartDebugServer(addr string, cfg DebugServerConfig) (*DebugServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server listen %s: %w", addr, err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		limit := 0
+		if s := r.URL.Query().Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil {
+				limit = n
+			}
+		}
+		spans := cfg.Tracer.Recent(limit)
+		if spans == nil {
+			spans = []Span{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Total uint64 `json:"total_recorded"`
+			Spans []Span `json:"spans"`
+		}{cfg.Tracer.Total(), spans})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := Health{OK: true, Detail: "no health probe configured"}
+		if cfg.Health != nil {
+			h = cfg.Health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !h.OK {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &DebugServer{
+		lis:    lis,
+		srv:    &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		logger: cfg.Logger,
+		done:   make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(lis); err != nil && err != http.ErrServerClosed {
+			s.logger.Error("debug server stopped", ErrField(err))
+		}
+	}()
+	s.logger.Info("debug server listening", F("addr", s.Addr()))
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *DebugServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// URL returns the server's base URL.
+func (s *DebugServer) URL() string {
+	if s == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
+
+// Close shuts the server down, releasing the port before returning. Safe on
+// nil and safe to call twice.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Close() // closes the listener and in-flight conns
+	<-s.done
+	return err
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// TestDebugServerEndpoints drives every route of a live server.
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dcert_test_total", "Test counter.", L("ci", "ci0")).Add(9)
+	tr := NewTracer(8)
+	sp := tr.Start("test.op", 0)
+	sp.End()
+	healthy := true
+	srv, err := StartDebugServer("127.0.0.1:0", DebugServerConfig{
+		Registry: reg,
+		Tracer:   tr,
+		Health: func() Health {
+			return Health{OK: healthy, TipHeight: 7, CertAgeSeconds: 0.5}
+		},
+	})
+	if err != nil {
+		t.Fatalf("StartDebugServer: %v", err)
+	}
+	defer srv.Close()
+
+	code, body := getBody(t, srv.URL()+"/metrics")
+	if code != 200 || !strings.Contains(body, `dcert_test_total{ci="ci0"} 9`) {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+
+	code, body = getBody(t, srv.URL()+"/debug/spans")
+	if code != 200 {
+		t.Fatalf("/debug/spans = %d", code)
+	}
+	var spans struct {
+		Total uint64 `json:"total_recorded"`
+		Spans []Span `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("span JSON: %v (%q)", err, body)
+	}
+	if spans.Total != 1 || len(spans.Spans) != 1 || spans.Spans[0].Name != "test.op" {
+		t.Fatalf("spans = %+v", spans)
+	}
+
+	code, body = getBody(t, srv.URL()+"/healthz")
+	if code != 200 || !strings.Contains(body, `"tip_height":7`) {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	healthy = false
+	if code, _ = getBody(t, srv.URL()+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy /healthz = %d, want 503", code)
+	}
+
+	if code, body = getBody(t, srv.URL()+"/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+// TestDebugServerNoPortLeak: Close must release the port synchronously — a
+// new server can rebind the exact same address immediately, across many
+// start/stop cycles.
+func TestDebugServerNoPortLeak(t *testing.T) {
+	first, err := StartDebugServer("127.0.0.1:0", DebugServerConfig{})
+	if err != nil {
+		t.Fatalf("StartDebugServer: %v", err)
+	}
+	addr := first.Addr()
+	if err := first.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		srv, err := StartDebugServer(addr, DebugServerConfig{})
+		if err != nil {
+			t.Fatalf("cycle %d: rebind %s: %v", i, addr, err)
+		}
+		if code, _ := getBody(t, srv.URL()+"/healthz"); code != 200 {
+			t.Fatalf("cycle %d: healthz = %d", i, code)
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatalf("cycle %d: Close: %v", i, err)
+		}
+	}
+	// Double Close and nil Close are safe.
+	var nilSrv *DebugServer
+	if err := nilSrv.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+}
+
+// TestDebugServerBadAddr: a malformed address errors instead of panicking.
+func TestDebugServerBadAddr(t *testing.T) {
+	if _, err := StartDebugServer("not-an-addr", DebugServerConfig{}); err == nil {
+		t.Fatal("expected listen error")
+	}
+}
+
+// TestDebugServerEmptyConfig: all-nil config still serves every route.
+func TestDebugServerEmptyConfig(t *testing.T) {
+	srv, err := StartDebugServer("127.0.0.1:0", DebugServerConfig{})
+	if err != nil {
+		t.Fatalf("StartDebugServer: %v", err)
+	}
+	defer srv.Close()
+	for _, route := range []string{"/metrics", "/debug/spans", "/healthz"} {
+		if code, _ := getBody(t, srv.URL()+route); code != 200 {
+			t.Fatalf("%s = %d with empty config", route, code)
+		}
+	}
+	code, body := getBody(t, srv.URL()+"/debug/spans")
+	if code != 200 || !strings.Contains(body, `"spans":[]`) {
+		t.Fatalf("/debug/spans = %d %q", code, body)
+	}
+}

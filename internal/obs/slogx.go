@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A minimal leveled structured logger in logfmt style, replacing ad-hoc
+// log.Printf call sites. Every record carries the identity tags the logger
+// was built With (node name, CI slot), so interleaved multi-issuer output
+// stays attributable. A nil *Logger discards everything.
+
+// Level orders log severities.
+type Level int32
+
+// Log levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String renders the level tag.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("LEVEL(%d)", int32(l))
+	}
+}
+
+// Field is one structured key/value pair.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F constructs a Field.
+func F(key string, value any) Field {
+	return Field{Key: key, Value: value}
+}
+
+// ErrField tags an error under the conventional "err" key.
+func ErrField(err error) Field {
+	return Field{Key: "err", Value: err}
+}
+
+// loggerCore is shared by a logger and everything derived from it With
+// extra tags: one writer lock, one level threshold.
+type loggerCore struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min atomic.Int32
+	now func() time.Time // test hook; nil = time.Now
+}
+
+// Logger emits leveled logfmt records.
+//
+// Logger is safe for concurrent use; a nil *Logger discards all records.
+type Logger struct {
+	core *loggerCore
+	tags []Field
+}
+
+// NewLogger creates a logger writing records at or above min to w.
+func NewLogger(w io.Writer, min Level, tags ...Field) *Logger {
+	core := &loggerCore{w: w}
+	core.min.Store(int32(min))
+	return &Logger{core: core, tags: tags}
+}
+
+// With derives a logger that stamps the extra identity tags on every
+// record. Level and writer stay shared with the parent.
+func (l *Logger) With(tags ...Field) *Logger {
+	if l == nil {
+		return nil
+	}
+	all := make([]Field, 0, len(l.tags)+len(tags))
+	all = append(all, l.tags...)
+	all = append(all, tags...)
+	return &Logger{core: l.core, tags: all}
+}
+
+// SetLevel moves the shared threshold (affects With-derived loggers too).
+func (l *Logger) SetLevel(min Level) {
+	if l == nil {
+		return
+	}
+	l.core.min.Store(int32(min))
+}
+
+// Enabled reports whether records at the level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && int32(level) >= l.core.min.Load()
+}
+
+// appendValue renders one value in logfmt style (bare if clean, quoted
+// otherwise).
+func appendValue(b *strings.Builder, v any) {
+	var s string
+	switch t := v.(type) {
+	case string:
+		s = t
+	case error:
+		s = t.Error()
+	case fmt.Stringer:
+		s = t.String()
+	default:
+		s = fmt.Sprint(v)
+	}
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		b.WriteString(strconv.Quote(s))
+		return
+	}
+	b.WriteString(s)
+}
+
+func (l *Logger) log(level Level, msg string, fields []Field) {
+	if !l.Enabled(level) {
+		return
+	}
+	now := time.Now
+	if l.core.now != nil {
+		now = l.core.now
+	}
+	var b strings.Builder
+	b.WriteString(now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteByte(' ')
+	b.WriteString(level.String())
+	b.WriteByte(' ')
+	appendValue(&b, msg)
+	for _, f := range l.tags {
+		b.WriteByte(' ')
+		b.WriteString(f.Key)
+		b.WriteByte('=')
+		appendValue(&b, f.Value)
+	}
+	for _, f := range fields {
+		b.WriteByte(' ')
+		b.WriteString(f.Key)
+		b.WriteByte('=')
+		appendValue(&b, f.Value)
+	}
+	b.WriteByte('\n')
+	l.core.mu.Lock()
+	io.WriteString(l.core.w, b.String())
+	l.core.mu.Unlock()
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, msg, fields) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, fields ...Field) { l.log(LevelInfo, msg, fields) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, fields ...Field) { l.log(LevelWarn, msg, fields) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, fields ...Field) { l.log(LevelError, msg, fields) }
+
+// Fatal logs at LevelError and exits the process with status 1. It exists
+// for example programs and commands; library code must not call it. A nil
+// logger still exits (the caller asked to die), writing to stderr.
+func (l *Logger) Fatal(msg string, fields ...Field) {
+	if l == nil {
+		l = NewLogger(os.Stderr, LevelError)
+	}
+	// Fatal records always emit, whatever the threshold.
+	if !l.Enabled(LevelError) {
+		l.SetLevel(LevelError)
+	}
+	l.log(LevelError, msg, fields)
+	osExit(1)
+}
+
+// osExit is swappable so Fatal is testable.
+var osExit = os.Exit

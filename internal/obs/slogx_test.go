@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock pins record timestamps for exact-output assertions.
+func fixedClock(l *Logger) {
+	l.core.now = func() time.Time {
+		return time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	}
+}
+
+// TestLoggerFormat pins the logfmt record shape: timestamp, level, message,
+// identity tags before call-site fields, quoting only when needed.
+func TestLoggerFormat(t *testing.T) {
+	var b strings.Builder
+	lg := NewLogger(&b, LevelInfo, F("node", "ci0"))
+	fixedClock(lg)
+	lg.Info("block certified", F("height", 42), F("note", "two words"))
+	want := `2026-08-06T12:00:00.000Z INFO "block certified" node=ci0 height=42 note="two words"` + "\n"
+	if b.String() != want {
+		t.Fatalf("record:\n got %q\nwant %q", b.String(), want)
+	}
+}
+
+// TestLoggerLevels: records below the threshold are dropped; SetLevel moves
+// the shared threshold, including for With-derived children.
+func TestLoggerLevels(t *testing.T) {
+	var b strings.Builder
+	lg := NewLogger(&b, LevelWarn)
+	fixedClock(lg)
+	child := lg.With(F("ci", "ci1"))
+	child.Info("dropped")
+	child.Debug("dropped")
+	if b.Len() != 0 {
+		t.Fatalf("below-threshold records written: %q", b.String())
+	}
+	child.Error("kept", ErrField(strings.NewReader("").UnreadRune()))
+	if !strings.Contains(b.String(), "ERROR kept ci=ci1 err=") {
+		t.Fatalf("error record malformed: %q", b.String())
+	}
+	lg.SetLevel(LevelDebug)
+	if !child.Enabled(LevelDebug) {
+		t.Fatal("SetLevel did not propagate to derived logger")
+	}
+}
+
+// TestLoggerConcurrent: records from concurrent writers must not interleave
+// mid-line.
+func TestLoggerConcurrent(t *testing.T) {
+	var b syncBuilder
+	lg := NewLogger(&b, LevelInfo)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				lg.Info("msg", F("k", "vvvvvvvv"))
+			}
+		}()
+	}
+	wg.Wait()
+	for _, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+		if !strings.HasSuffix(line, "k=vvvvvvvv") {
+			t.Fatalf("torn record: %q", line)
+		}
+	}
+}
+
+// TestLoggerFatal: Fatal writes the record and exits with status 1 (exit
+// intercepted).
+func TestLoggerFatal(t *testing.T) {
+	defer func(orig func(int)) { osExit = orig }(osExit)
+	code := -1
+	osExit = func(c int) { code = c }
+	var b strings.Builder
+	lg := NewLogger(&b, LevelError)
+	fixedClock(lg)
+	lg.Fatal("boom", F("why", "test"))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(b.String(), "ERROR boom why=test") {
+		t.Fatalf("fatal record missing: %q", b.String())
+	}
+}
+
+// syncBuilder is a mutex-guarded strings.Builder (the logger already locks,
+// but the test reads concurrently-written state afterwards).
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Lightweight span tracing: a fixed-capacity ring buffer of recently
+// finished spans with parent/child links. There is no sampling and no
+// export — the ring is the whole story, sized for "what did the pipeline do
+// in the last few seconds", and /debug/spans dumps it.
+
+// SpanID identifies one span; 0 is "no span" (root).
+type SpanID uint64
+
+// Span is one finished traced operation.
+type Span struct {
+	// ID is the span's own identity.
+	ID SpanID `json:"id"`
+	// Parent links to the enclosing span (0 for roots).
+	Parent SpanID `json:"parent,omitempty"`
+	// Name is the operation (e.g. "pipeline.verify").
+	Name string `json:"name"`
+	// Start is when the span began.
+	Start time.Time `json:"start"`
+	// Duration is how long it ran.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Tracer records finished spans into a ring buffer.
+//
+// Tracer is safe for concurrent use; a nil *Tracer is a no-op.
+type Tracer struct {
+	nextID atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []Span
+	next  int    // next write position
+	total uint64 // spans ever recorded
+}
+
+// NewTracer creates a tracer keeping the most recent capacity spans
+// (default 256 when capacity < 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 256
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// SpanHandle is an in-flight span. It is a value type: starting and ending
+// a span allocates nothing as long as the handle stays on the stack.
+type SpanHandle struct {
+	tr     *Tracer
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+}
+
+// Start begins a span under the given parent (0 for a root span).
+func (t *Tracer) Start(name string, parent SpanID) SpanHandle {
+	if t == nil {
+		return SpanHandle{}
+	}
+	return SpanHandle{
+		tr:     t,
+		id:     SpanID(t.nextID.Add(1)),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// ID returns the span's identity, for parenting children (0 on a no-op
+// handle).
+func (h SpanHandle) ID() SpanID {
+	return h.id
+}
+
+// End finishes the span and records it into the ring.
+func (h SpanHandle) End() {
+	if h.tr == nil {
+		return
+	}
+	t := h.tr
+	t.mu.Lock()
+	t.ring[t.next] = Span{
+		ID:       h.id,
+		Parent:   h.parent,
+		Name:     h.name,
+		Start:    h.start,
+		Duration: time.Since(h.start),
+	}
+	t.next = (t.next + 1) % len(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Recent returns up to max finished spans, oldest first (all retained spans
+// when max <= 0). The returned slice is a copy.
+func (t *Tracer) Recent(max int) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := int(t.total)
+	if n > len(t.ring) {
+		n = len(t.ring)
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Span, 0, n)
+	// Oldest retained span sits at t.next when the ring has wrapped,
+	// otherwise at 0; we want the newest n, oldest first.
+	start := t.next - n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Total reports how many spans were ever recorded (including those the ring
+// has since overwritten).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTracerRing: spans land oldest-first, the ring caps retention, and
+// Total keeps the all-time count.
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		sp := tr.Start("op", 0)
+		sp.End()
+	}
+	spans := tr.Recent(0)
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	// The newest 4 of 6 spans are IDs 3..6, oldest first.
+	for i, sp := range spans {
+		if want := SpanID(i + 3); sp.ID != want {
+			t.Fatalf("span %d has ID %d, want %d", i, sp.ID, want)
+		}
+	}
+	if tr.Total() != 6 {
+		t.Fatalf("total = %d, want 6", tr.Total())
+	}
+	if got := tr.Recent(2); len(got) != 2 || got[1].ID != 6 {
+		t.Fatalf("Recent(2) = %+v", got)
+	}
+}
+
+// TestTracerParentLinks: children record their parent's ID so /debug/spans
+// can rebuild the tree.
+func TestTracerParentLinks(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.Start("pipeline.block", 0)
+	child := tr.Start("pipeline.verify", root.ID())
+	time.Sleep(time.Millisecond)
+	child.End()
+	root.End()
+
+	spans := tr.Recent(0)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].Name != "pipeline.verify" || spans[0].Parent != root.ID() {
+		t.Fatalf("child span = %+v, want parent %d", spans[0], root.ID())
+	}
+	if spans[1].Parent != 0 {
+		t.Fatalf("root span has parent %d", spans[1].Parent)
+	}
+	if spans[0].Duration <= 0 {
+		t.Fatal("child span has no duration")
+	}
+}

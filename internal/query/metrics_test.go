@@ -1,0 +1,95 @@
+package query
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dcert/internal/network"
+	"dcert/internal/obs"
+)
+
+// TestQueryInstrumentationSuccess drives an instrumented requester/server
+// pair, with the fabric duplicating every request so the SP's idempotent
+// cache takes a hit, and checks all counters.
+func TestQueryInstrumentationSuccess(t *testing.T) {
+	r, _, _ := queryableRig(t)
+	net := network.New()
+	defer net.Close()
+	net.SetFaults(&network.FaultPlan{Seed: 7, Rules: []network.FaultRule{
+		{Topic: TopicQueries, Duplicate: 1.0},
+	}})
+
+	reg := obs.NewRegistry()
+	srv := Serve(r.sp, net)
+	defer srv.Stop()
+	srv.Instrument(reg, "sp0")
+	req := NewRequester(net, 2*time.Second)
+	defer req.Close()
+	req.Instrument(reg, "c0")
+
+	if _, err := req.State("never-written"); err != nil {
+		t.Fatalf("State: %v", err)
+	}
+
+	if got := reg.Counter("dcert_query_requests_total", "", obs.L("client", "c0")).Value(); got != 1 {
+		t.Errorf("requests = %d, want 1", got)
+	}
+	if got := reg.Counter("dcert_query_retries_total", "", obs.L("client", "c0")).Value(); got != 0 {
+		t.Errorf("retries = %d, want 0", got)
+	}
+	if got := reg.Histogram("dcert_query_rtt_seconds", "", nil, obs.L("client", "c0")).Count(); got != 1 {
+		t.Errorf("rtt observations = %d, want 1", got)
+	}
+
+	// The duplicated request replays the cached response; the counters must
+	// agree with the server's own Stats.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, replayed := srv.Stats(); replayed >= 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	computed, replayed := srv.Stats()
+	hit := reg.Counter("dcert_sp_responses_total", "", obs.L("sp", "sp0"), obs.L("cache", "hit")).Value()
+	miss := reg.Counter("dcert_sp_responses_total", "", obs.L("sp", "sp0"), obs.L("cache", "miss")).Value()
+	if miss != computed || hit != replayed {
+		t.Errorf("cache counters (miss %d, hit %d) disagree with Stats (computed %d, replayed %d)",
+			miss, hit, computed, replayed)
+	}
+	if replayed == 0 {
+		t.Error("duplicated request never hit the idempotent cache")
+	}
+}
+
+// TestQueryInstrumentationTimeouts exhausts the retry budget against an empty
+// fabric and checks retry/timeout/failure accounting.
+func TestQueryInstrumentationTimeouts(t *testing.T) {
+	net := network.New()
+	defer net.Close()
+	reg := obs.NewRegistry()
+	req := NewRequesterWithPolicy(net, 10*time.Millisecond, RetryPolicy{
+		MaxAttempts: 3, BaseBackoff: time.Millisecond,
+	})
+	defer req.Close()
+	req.Instrument(reg, "c1")
+
+	if _, err := req.State("k"); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+
+	c := func(name string) uint64 { return reg.Counter(name, "", obs.L("client", "c1")).Value() }
+	if got := c("dcert_query_requests_total"); got != 1 {
+		t.Errorf("requests = %d, want 1", got)
+	}
+	if got := c("dcert_query_retries_total"); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	if got := c("dcert_query_timeouts_total"); got != 3 {
+		t.Errorf("timeouts = %d, want 3", got)
+	}
+	if got := c("dcert_query_failures_total"); got != 1 {
+		t.Errorf("failures = %d, want 1", got)
+	}
+}

@@ -176,6 +176,7 @@ type Server struct {
 	wg   sync.WaitGroup
 
 	mu         sync.Mutex
+	met        serverObs
 	cache      map[string][]byte
 	cacheOrder []string
 	computed   uint64
@@ -211,6 +212,7 @@ func (s *Server) cached(key string) ([]byte, bool) {
 	raw, ok := s.cache[key]
 	if ok {
 		s.replayed++
+		s.met.replayed.Inc()
 	}
 	return raw, ok
 }
@@ -220,6 +222,7 @@ func (s *Server) store(key string, resp []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.computed++
+	s.met.computed.Inc()
 	if _, ok := s.cache[key]; ok {
 		return
 	}
@@ -356,6 +359,7 @@ type Requester struct {
 	nextID  atomic.Uint64
 	timeout time.Duration
 	policy  RetryPolicy
+	met     requesterObs
 	done    chan struct{}
 
 	mu      sync.Mutex
@@ -459,9 +463,12 @@ func (r *Requester) attempt(req *Request) (*Response, error) {
 // roundTrip runs the retry loop: timeouts are retried with backoff within
 // the attempt budget; remote errors, fabric shutdown, and Close are final.
 func (r *Requester) roundTrip(req *Request) (*Response, error) {
+	r.met.requests.Inc()
+	start := time.Now()
 	var err error
 	for i := 0; i < r.policy.MaxAttempts; i++ {
 		if i > 0 {
+			r.met.retries.Inc()
 			pause := time.NewTimer(r.backoff(i - 1))
 			select {
 			case <-pause.C:
@@ -473,12 +480,16 @@ func (r *Requester) roundTrip(req *Request) (*Response, error) {
 		var resp *Response
 		resp, err = r.attempt(req)
 		if err == nil {
+			r.met.rttSec.Observe(time.Since(start).Seconds())
 			return resp, nil
 		}
 		if !errors.Is(err, ErrTimeout) {
+			r.met.failures.Inc()
 			return nil, err
 		}
+		r.met.timeouts.Inc()
 	}
+	r.met.failures.Inc()
 	return nil, fmt.Errorf("%w (after %d attempts)", ErrTimeout, r.policy.MaxAttempts)
 }
 
