@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 chaos chaos-obs fmt vet bench bench-state bench-json clean
+.PHONY: all tier1 tier2 chaos chaos-obs chaos-disk fmt vet bench bench-state bench-json clean
 
 all: tier1
 
@@ -31,6 +31,13 @@ chaos:
 # partitioned + duplicated).
 chaos-obs:
 	$(GO) test -race -count=1 -run 'TestChaosFaultCounterReconciliation' -v .
+
+# Disk-fault chaos: seeded fault plans (failed/short writes, failed/lying
+# fsyncs, power cuts with corrupted torn tails) against the durable storage
+# engine, asserting crash recovery always yields a gapless certified prefix
+# and the resumed issuer never double-signs a recovered height.
+chaos-disk:
+	$(GO) test -race -count=1 -run 'TestChaosDisk' -v .
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -162,6 +162,7 @@ func (p *CertPlane) MineAndBroadcast(n int) (*Block, error) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	var firstCert *Certificate
 	for _, s := range p.slots {
 		if !s.alive {
 			continue
@@ -169,6 +170,9 @@ func (p *CertPlane) MineAndBroadcast(n int) (*Block, error) {
 		cert, _, err := s.issuer.ProcessBlock(blk)
 		if err != nil {
 			return nil, fmt.Errorf("dcert: %s certify: %w", s.name, err)
+		}
+		if firstCert == nil {
+			firstCert = cert
 		}
 		if err := p.d.net.Publish(TopicCerts, s.name, &CertBundle{Header: &blk.Header, Cert: cert}); err != nil {
 			return nil, err
@@ -178,6 +182,13 @@ func (p *CertPlane) MineAndBroadcast(n int) (*Block, error) {
 		return nil, fmt.Errorf("dcert: SP: %w", err)
 	}
 	if err := p.d.net.Publish(TopicBlocks, "miner", blk); err != nil {
+		return nil, err
+	}
+	// Journal the block with the first live issuer's certificate (redundant
+	// issuers re-certify the same height; one durable copy suffices). With
+	// zero live issuers the block persists uncertified — recovery drops it
+	// unless a certificate lands before the crash.
+	if err := p.d.persistBlock(blk, firstCert); err != nil {
 		return nil, err
 	}
 	return blk, nil
@@ -238,6 +249,13 @@ func (p *CertPlane) startSlotPipeline(s *ciSlot) error {
 			if err := p.d.net.Publish(TopicCerts, s.name, bundle); err != nil && s.pipeErr == nil {
 				s.pipeErr = err
 			}
+			// The block was journaled (uncertified) at submit time; attach
+			// the certificate now that the enclave has produced it. ApplyCert
+			// is idempotent, so redundant slots landing the same height race
+			// harmlessly.
+			if err := p.d.persistCert(res.Block.Hash(), res.Cert); err != nil && s.pipeErr == nil {
+				s.pipeErr = err
+			}
 		}
 	}(s, pl)
 	return nil
@@ -261,6 +279,11 @@ func (p *CertPlane) MineAndBroadcastPipelined(n int) (*Block, error) {
 	defer p.mu.Unlock()
 	if p.pipeCfg == nil {
 		return nil, fmt.Errorf("dcert: pipelines not running (call StartPipelines first)")
+	}
+	// Journal the block before any pipeline can land its certificate: the
+	// engine refuses certificates for blocks it has never seen.
+	if err := p.d.persistBlock(blk, nil); err != nil {
+		return nil, err
 	}
 	for _, s := range p.slots {
 		if !s.alive || s.pipe == nil {
@@ -352,6 +375,13 @@ func (p *CertPlane) Kill(name string) error {
 	}
 	if ckpt := s.issuer.Checkpoint(); ckpt != nil {
 		s.checkpoint = ckpt.Marshal()
+		if p.d.engine != nil && s.name == "ci0" {
+			// The primary's recovery record also lands on disk, so a full
+			// process restart resumes the recursion from the same point.
+			if err := p.d.engine.SaveCheckpoint(ckpt); err != nil {
+				return fmt.Errorf("dcert: kill %s: persist checkpoint: %w", name, err)
+			}
+		}
 	}
 	s.responder.Stop()
 	s.responder = nil
@@ -402,9 +432,17 @@ func (p *CertPlane) Restart(name string) error {
 	minerStore := p.d.miner.Store()
 	var missed []*Block
 	for h := s.node.Tip().Header.Height + 1; h <= minerStore.BestHeight(); h++ {
-		blk, err := minerStore.AtHeight(h)
-		if err != nil {
-			return fmt.Errorf("dcert: restart %s: fetch height %d: %w", name, h, err)
+		// Prefer the durable engine's copy — a real recovering CI reads its
+		// host's disk before asking peers — falling back to the live miner.
+		blk, ok := (*Block)(nil), false
+		if p.d.engine != nil {
+			blk, ok = p.d.engine.BlockAt(h)
+		}
+		if !ok {
+			var err error
+			if blk, err = minerStore.AtHeight(h); err != nil {
+				return fmt.Errorf("dcert: restart %s: fetch height %d: %w", name, h, err)
+			}
 		}
 		missed = append(missed, blk)
 	}
@@ -420,6 +458,9 @@ func (p *CertPlane) Restart(name string) error {
 		for _, res := range results {
 			if res.Err != nil {
 				return fmt.Errorf("dcert: restart %s: re-certify height %d: %w", name, res.Block.Header.Height, res.Err)
+			}
+			if err := p.d.persistCert(res.Block.Hash(), res.Cert); err != nil {
+				return fmt.Errorf("dcert: restart %s: persist cert height %d: %w", name, res.Block.Header.Height, err)
 			}
 		}
 	}

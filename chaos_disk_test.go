@@ -1,0 +1,224 @@
+package dcert_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dcert"
+	"dcert/internal/storage/vfs"
+)
+
+// Disk chaos tests: drive a durable deployment through seeded disk-fault
+// plans — failed writes, short writes, failed and lying fsyncs, power cuts
+// with torn corrupted tails — and assert the recovery invariant: reopening
+// the data directory always yields a gapless prefix of the certified chain,
+// never serves a corrupt record, and the resumed issuer never re-signs a
+// recovered height (its enclave performs exactly one ecall per new block).
+//
+// Run them through `make chaos-disk`; like the network chaos suite they are
+// only considered passed under -race.
+
+// diskChaosConfig builds the durable deployment config for one plan.
+func diskChaosConfig(dir string, fs vfs.FS, fsync time.Duration, seed int64) dcert.Config {
+	return dcert.Config{
+		Workload:   dcert.KVStore,
+		Contracts:  4,
+		Accounts:   8,
+		Difficulty: 2,
+		Seed:       seed,
+		KeySpace:   30,
+		Storage: &dcert.StorageConfig{
+			Dir:           dir,
+			FS:            fs,
+			FsyncInterval: fsync,
+		},
+	}
+}
+
+// minedChain snapshots the miner's authoritative chain (the in-memory truth
+// the disk must recover a prefix of).
+func minedChain(t *testing.T, dep *dcert.Deployment) []dcert.Hash {
+	t.Helper()
+	store := dep.Miner().Store()
+	hashes := make([]dcert.Hash, 0, store.BestHeight()+1)
+	for h := uint64(0); h <= store.BestHeight(); h++ {
+		blk, err := store.AtHeight(h)
+		if err != nil {
+			t.Fatalf("miner AtHeight(%d): %v", h, err)
+		}
+		hashes = append(hashes, blk.Hash())
+	}
+	return hashes
+}
+
+// assertRecovered checks the crash-recovery invariant against the pre-crash
+// chain and returns the resumed deployment's recovered tip.
+func assertRecovered(t *testing.T, dep *dcert.Deployment, mined []dcert.Hash) uint64 {
+	t.Helper()
+	rec := dep.StorageRecovery()
+	if rec == nil {
+		t.Fatal("resumed deployment reports no recovery")
+	}
+	if len(rec.Blocks) == 0 {
+		t.Fatal("recovery lost the genesis")
+	}
+	if got, max := rec.TipHeight(), uint64(len(mined)-1); got > max {
+		t.Fatalf("recovered tip %d beyond mined tip %d", got, max)
+	}
+	for i, blk := range rec.Blocks {
+		if blk.Header.Height != uint64(i) {
+			t.Fatalf("recovered chain has a gap: block %d at height %d", i, blk.Header.Height)
+		}
+		if blk.Hash() != mined[i] {
+			t.Fatalf("recovered block %d is not the mined block (corrupt record served)", i)
+		}
+	}
+	// The recovered tip certificate must verify end-to-end: a superlight
+	// client pinned to the resumed authority accepts it through full
+	// recursive validation.
+	if ck := rec.Checkpoint; ck != nil {
+		if ck.Height != rec.TipHeight() {
+			t.Fatalf("checkpoint height %d does not match recovered tip %d", ck.Height, rec.TipHeight())
+		}
+		client := dep.NewSuperlightClient()
+		tip := rec.Blocks[ck.Height]
+		if err := client.ValidateChain(&tip.Header, ck.Cert); err != nil {
+			t.Fatalf("recovered tip certificate rejected: %v", err)
+		}
+	}
+	return rec.TipHeight()
+}
+
+// assertResumes mines more blocks on the resumed deployment and checks both
+// liveness (the chain extends, certificates validate) and the no-double-sign
+// invariant (exactly one ecall per new block: the fresh enclave adopted the
+// checkpoint instead of re-certifying recovered heights).
+func assertResumes(t *testing.T, dep *dcert.Deployment, tip uint64, more int) {
+	t.Helper()
+	client := dep.NewSuperlightClient()
+	before := dep.Issuer().Enclave().Stats().Ecalls
+	for i := 0; i < more; i++ {
+		blk, cert, err := dep.MineAndCertify(3)
+		if err != nil {
+			t.Fatalf("mine after resume: %v", err)
+		}
+		if err := client.ValidateChain(&blk.Header, cert); err != nil {
+			t.Fatalf("client rejects post-resume block %d: %v", blk.Header.Height, err)
+		}
+	}
+	if got := dep.Miner().Store().BestHeight(); got != tip+uint64(more) {
+		t.Fatalf("resumed chain at height %d, want %d", got, tip+uint64(more))
+	}
+	if got := dep.Issuer().Enclave().Stats().Ecalls - before; got != uint64(more) {
+		t.Fatalf("issuer made %d ecalls for %d new blocks (re-signed a recovered height?)", got, more)
+	}
+}
+
+func TestChaosDiskFaultPlans(t *testing.T) {
+	cases := []struct {
+		name   string
+		plan   vfs.FaultPlan
+		fsync  time.Duration
+		blocks int
+	}{
+		{
+			// A write fails outright mid-mining with per-append fsync: the
+			// crash point is the injected error itself.
+			name:   "failed write, per-record fsync",
+			plan:   vfs.FaultPlan{Seed: 101, FailWriteOp: 14},
+			blocks: 10,
+		},
+		{
+			// Group commit with an effectively infinite interval, then the
+			// power dies: most of the run was only in page cache, and the
+			// surviving torn tail carries a flipped byte.
+			name:   "power cut with corrupted torn tail",
+			plan:   vfs.FaultPlan{Seed: 202, TornTail: 0.6, FlipInTorn: true},
+			fsync:  time.Hour,
+			blocks: 8,
+		},
+		{
+			// A lying disk: one fsync silently does nothing, a later one
+			// fails loudly, then the power dies.
+			name:   "omitted and failed fsync",
+			plan:   vfs.FaultPlan{Seed: 303, OmitSyncOp: 9, FailSyncOp: 17, TornTail: 0.3, FlipInTorn: true},
+			blocks: 8,
+		},
+		{
+			// A torn write at the syscall boundary: half a frame lands.
+			name:   "short write",
+			plan:   vfs.FaultPlan{Seed: 404, ShortWriteOp: 11},
+			blocks: 10,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			faulty := vfs.NewFault(vfs.OS{}, tc.plan)
+			dep, err := dcert.NewDeployment(diskChaosConfig(dir, faulty, tc.fsync, tc.plan.Seed))
+			if err != nil {
+				t.Fatalf("NewDeployment: %v", err)
+			}
+			for i := 0; i < tc.blocks; i++ {
+				if _, _, err := dep.MineAndCertify(3); err != nil {
+					if !errors.Is(err, vfs.ErrInjected) {
+						t.Fatalf("mining failed with a non-injected error: %v", err)
+					}
+					break // the crash point
+				}
+			}
+			mined := minedChain(t, dep)
+			faulty.PowerCut()
+			// Crash: the deployment is abandoned without Close; only what the
+			// fault FS considered durable is on disk.
+
+			resumed, err := dcert.OpenDeployment(diskChaosConfig(dir, nil, tc.fsync, tc.plan.Seed))
+			if err != nil {
+				t.Fatalf("OpenDeployment after crash: %v", err)
+			}
+			defer resumed.Close()
+			tip := assertRecovered(t, resumed, mined)
+			assertResumes(t, resumed, tip, 3)
+		})
+	}
+}
+
+// TestChaosDiskPowerCutPipelined crashes a deployment running the full
+// redundant certification plane with pipelined certification — blocks are
+// journaled uncertified at submit time and certificates attach from
+// concurrent pipeline consumers — then recovers it.
+func TestChaosDiskPowerCutPipelined(t *testing.T) {
+	dir := t.TempDir()
+	faulty := vfs.NewFault(vfs.OS{}, vfs.FaultPlan{Seed: 505, TornTail: 0.5, FlipInTorn: true})
+	dep, err := dcert.NewDeployment(diskChaosConfig(dir, faulty, time.Hour, 505))
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+	plane, err := dep.StartCertPlane(2)
+	if err != nil {
+		t.Fatalf("StartCertPlane: %v", err)
+	}
+	if err := plane.StartPipelines(dcert.PipelineConfig{Workers: 2}); err != nil {
+		t.Fatalf("StartPipelines: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := plane.MineAndBroadcastPipelined(3); err != nil {
+			t.Fatalf("mine block %d: %v", i+1, err)
+		}
+	}
+	if err := plane.DrainPipelines(); err != nil {
+		t.Fatalf("DrainPipelines: %v", err)
+	}
+	plane.Stop()
+	mined := minedChain(t, dep)
+	faulty.PowerCut()
+
+	resumed, err := dcert.OpenDeployment(diskChaosConfig(dir, nil, time.Hour, 505))
+	if err != nil {
+		t.Fatalf("OpenDeployment after crash: %v", err)
+	}
+	defer resumed.Close()
+	tip := assertRecovered(t, resumed, mined)
+	assertResumes(t, resumed, tip, 3)
+}

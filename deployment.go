@@ -11,6 +11,7 @@ import (
 	"dcert/internal/obs"
 	"dcert/internal/query"
 	"dcert/internal/statedb"
+	"dcert/internal/storage"
 	"dcert/internal/vm"
 	"dcert/internal/workload"
 )
@@ -41,6 +42,11 @@ type Config struct {
 	// StateBackend selects the state commitment structure: statedb.BackendMPT
 	// (default) or statedb.BackendSMT (the paper's Fig. 4 binary tree).
 	StateBackend statedb.BackendKind
+	// Storage, when non-nil, attaches a crash-safe data directory: every
+	// mined block, certificate, and state write set is journaled, and
+	// OpenDeployment/ResumeDeployment recover the deployment from disk
+	// after a crash. Nil keeps everything in memory (tests, benchmarks).
+	Storage *StorageConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -77,13 +83,27 @@ type Deployment struct {
 	reg    *obs.Registry
 	tracer *obs.Tracer
 	logger *obs.Logger
+
+	// Durability plane, nil unless Config.Storage is set: the crash-safe
+	// engine plus the validating persistence replica that feeds it.
+	engine  *storage.Engine
+	persist *node.FullNode
+}
+
+// newRegistry builds a contract registry for the deployment's workload.
+func (c Config) newRegistry() (*vm.Registry, error) {
+	reg := vm.NewRegistry()
+	if err := workload.Register(reg, c.Workload, c.Contracts); err != nil {
+		return nil, err
+	}
+	return reg, nil
 }
 
 // newFullNode builds an independent full-node replica for the deployment's
 // genesis and workload.
 func (c Config) newFullNode(params consensus.Params) (*node.FullNode, error) {
-	reg := vm.NewRegistry()
-	if err := workload.Register(reg, c.Workload, c.Contracts); err != nil {
+	reg, err := c.newRegistry()
+	if err != nil {
 		return nil, err
 	}
 	genesis, db, err := node.BuildGenesis(node.GenesisConfig{Time: 1, Consensus: params, Backend: c.StateBackend})
@@ -93,12 +113,25 @@ func (c Config) newFullNode(params consensus.Params) (*node.FullNode, error) {
 	return node.NewFullNode(genesis, db, reg, params)
 }
 
-// NewDeployment assembles a deployment per the config.
+// NewDeployment assembles a deployment per the config. With Config.Storage
+// set, the data directory must be empty or absent — resuming an existing one
+// is OpenDeployment / ResumeDeployment's job.
 func NewDeployment(cfg Config) (*Deployment, error) {
 	cfg = cfg.withDefaults()
 	params := consensus.Params{Difficulty: cfg.Difficulty}
 
-	authority, err := attest.NewAuthority()
+	var authority *attest.Authority
+	var err error
+	if cfg.Storage != nil {
+		if storage.HasData(cfg.Storage.FS, cfg.Storage.Dir) {
+			return nil, fmt.Errorf("dcert: data directory %s already holds a chain; use OpenDeployment or ResumeDeployment", cfg.Storage.Dir)
+		}
+		// The trust anchor must be reconstructible after a restart, so
+		// durable deployments derive it from the config seed.
+		authority, err = durableAuthority(cfg)
+	} else {
+		authority, err = attest.NewAuthority()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("dcert: deployment: %w", err)
 	}
@@ -141,7 +174,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		return nil, fmt.Errorf("dcert: generator: %w", err)
 	}
 
-	return &Deployment{
+	d := &Deployment{
 		cfg:       cfg,
 		authority: authority,
 		miner:     node.NewMiner(minerNode),
@@ -150,7 +183,24 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		net:       network.New(),
 		gen:       gen,
 		params:    params,
-	}, nil
+	}
+	if cfg.Storage != nil {
+		persist, err := cfg.newFullNode(params)
+		if err != nil {
+			return nil, fmt.Errorf("dcert: persist replica: %w", err)
+		}
+		engine, err := storage.OpenEngine(cfg.Storage.Dir, cfg.Storage.engineOptions())
+		if err != nil {
+			return nil, fmt.Errorf("dcert: storage: %w", err)
+		}
+		if err := engine.Bootstrap(persist.Store().Best(), nil); err != nil {
+			engine.Close()
+			return nil, fmt.Errorf("dcert: storage bootstrap: %w", err)
+		}
+		d.engine = engine
+		d.persist = persist
+	}
+	return d, nil
 }
 
 // Authority returns the attestation authority (clients pin its public key).
@@ -226,6 +276,9 @@ func (d *Deployment) MineAndCertify(n int) (*Block, *Certificate, error) {
 	if err := d.net.Publish(TopicCerts, "ci", cert); err != nil {
 		return nil, nil, err
 	}
+	if err := d.persistBlock(blk, cert); err != nil {
+		return nil, nil, err
+	}
 	return blk, cert, nil
 }
 
@@ -273,6 +326,9 @@ func (d *Deployment) MineAndCertifyHierarchical(n int, indexNames []string) (*Bl
 	}
 	if err := d.sp.ProcessBlock(blk); err != nil {
 		return nil, nil, nil, fmt.Errorf("dcert: SP: %w", err)
+	}
+	if err := d.persistBlock(blk, blkCert); err != nil {
+		return nil, nil, nil, err
 	}
 	return blk, blkCert, idxCerts, nil
 }

@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCreateRefusesToClobber(t *testing.T) {
+	e := newArchiveEnv(t)
+	e.buildChain(t, 2)
+	path := filepath.Join(t.TempDir(), "chain.archive")
+	if err := WriteChain(path, e.issuer.Node(), nil); err != nil {
+		t.Fatalf("WriteChain: %v", err)
+	}
+	if _, err := Create(path); !errors.Is(err, ErrExists) {
+		t.Fatalf("Create over non-empty archive: want ErrExists, got %v", err)
+	}
+	// The refused create must not have damaged the archive.
+	c, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load after refused create: %v", err)
+	}
+	if len(c.Blocks) != 3 {
+		t.Fatalf("archive damaged: %d blocks", len(c.Blocks))
+	}
+}
+
+func TestOpenAppendsAfterExistingRecords(t *testing.T) {
+	e := newArchiveEnv(t)
+	e.buildChain(t, 3)
+	path := filepath.Join(t.TempDir(), "chain.archive")
+	if err := WriteChain(path, e.issuer.Node(), e.issuer.CertFor); err != nil {
+		t.Fatalf("WriteChain: %v", err)
+	}
+
+	// Mine one more block, then append it through Open.
+	e.buildChain(t, 1)
+	tip := e.miner.Tip()
+	a, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := a.AppendBlock(tip); err != nil {
+		t.Fatalf("AppendBlock: %v", err)
+	}
+	cert, ok := e.issuer.CertFor(tip.Hash())
+	if !ok {
+		t.Fatal("tip cert missing")
+	}
+	if err := a.AppendCert(tip.Hash(), cert); err != nil {
+		t.Fatalf("AppendCert: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	c, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(c.Blocks) != 5 || len(c.Certs) != 4 {
+		t.Fatalf("appended archive has %d blocks / %d certs, want 5/4", len(c.Blocks), len(c.Certs))
+	}
+	if c.Blocks[4].Hash() != tip.Hash() {
+		t.Fatal("appended block mismatch")
+	}
+}
+
+func TestOpenRefusesCorruptArchive(t *testing.T) {
+	e := newArchiveEnv(t)
+	e.buildChain(t, 2)
+	path := filepath.Join(t.TempDir(), "chain.archive")
+	if err := WriteChain(path, e.issuer.Node(), nil); err != nil {
+		t.Fatalf("WriteChain: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := Open(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on torn archive: want ErrCorrupt, got %v", err)
+	}
+}
+
+// TestRecoverTruncatesToLastValidFrame is the satellite's table: each damage
+// mode must leave Recover with the longest valid prefix, a physically
+// repaired file, and no corrupt record in the returned contents.
+func TestRecoverTruncatesToLastValidFrame(t *testing.T) {
+	cases := []struct {
+		name   string
+		damage func(t *testing.T, raw []byte) []byte
+		blocks int // surviving blocks (of 4: genesis + 3)
+	}{
+		{
+			name:   "truncated tail",
+			damage: func(t *testing.T, raw []byte) []byte { return raw[:len(raw)-11] },
+			blocks: 3,
+		},
+		{
+			name: "flipped byte in last record",
+			damage: func(t *testing.T, raw []byte) []byte {
+				raw[len(raw)-3] ^= 0x40
+				return raw
+			},
+			blocks: 3,
+		},
+		{
+			name: "oversized length in last record header",
+			damage: func(t *testing.T, raw []byte) []byte {
+				// Find the last frame boundary by walking valid frames.
+				off := 0
+				last := 0
+				for {
+					n, ok := nextFrame(raw[off:])
+					if !ok {
+						break
+					}
+					last = off
+					off += n
+				}
+				raw[last] = 0xFF // length high byte → oversized
+				return raw
+			},
+			blocks: 3,
+		},
+		{
+			name:   "garbage-only file",
+			damage: func(t *testing.T, raw []byte) []byte { return []byte{1, 2, 3, 4, 5, 6, 7, 8, 9} },
+			blocks: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := newArchiveEnv(t)
+			e.buildChain(t, 3)
+			path := filepath.Join(t.TempDir(), "chain.archive")
+			// Blocks only: each record is one block, so damage maps to a
+			// predictable survivor count.
+			if err := WriteChain(path, e.issuer.Node(), nil); err != nil {
+				t.Fatalf("WriteChain: %v", err)
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("ReadFile: %v", err)
+			}
+			if err := os.WriteFile(path, tc.damage(t, raw), 0o644); err != nil {
+				t.Fatalf("WriteFile: %v", err)
+			}
+
+			c, rec, err := Recover(path)
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			if !rec.Torn {
+				t.Fatal("Recover must report the repair")
+			}
+			if len(c.Blocks) != tc.blocks {
+				t.Fatalf("recovered %d blocks, want %d", len(c.Blocks), tc.blocks)
+			}
+			for i, blk := range c.Blocks {
+				want, err := e.miner.Store().AtHeight(uint64(i))
+				if err != nil {
+					t.Fatalf("AtHeight: %v", err)
+				}
+				if blk.Hash() != want.Hash() {
+					t.Fatalf("recovered block %d is not the mined block (corrupt record served)", i)
+				}
+			}
+			// The file is repaired in place: strict Load now succeeds.
+			c2, err := Load(path)
+			if err != nil {
+				t.Fatalf("Load after Recover: %v", err)
+			}
+			if len(c2.Blocks) != tc.blocks {
+				t.Fatalf("repaired file loads %d blocks, want %d", len(c2.Blocks), tc.blocks)
+			}
+		})
+	}
+}

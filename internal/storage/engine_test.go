@@ -1,0 +1,343 @@
+package storage
+
+import (
+	"testing"
+	"time"
+
+	"dcert/internal/chain"
+	"dcert/internal/consensus"
+	"dcert/internal/core"
+	"dcert/internal/node"
+	"dcert/internal/statedb"
+	"dcert/internal/storage/vfs"
+)
+
+// engineEnv extends archiveEnv with a validating persistence replica whose
+// write sets feed the engine, mirroring how the deployment drives it.
+type engineEnv struct {
+	*archiveEnv
+	persist *node.FullNode
+	blocks  []*chain.Block
+	certs   []*core.Certificate
+}
+
+func newEngineEnv(t *testing.T) *engineEnv {
+	t.Helper()
+	env := newArchiveEnv(t)
+	return &engineEnv{archiveEnv: env, persist: env.mkNode()}
+}
+
+func (e *engineEnv) resumeCfg() ResumeConfig {
+	return ResumeConfig{
+		Backend:  statedb.BackendMPT,
+		Registry: e.persist.Registry(),
+		Params:   consensus.Params{Difficulty: 2},
+	}
+}
+
+// mine produces one certified block and applies it to the engine. withCert
+// false models an issuer outage: the block is persisted uncertified.
+func (e *engineEnv) mine(t *testing.T, eng *Engine, withCert bool) {
+	t.Helper()
+	txs, err := e.gen.Block(4)
+	if err != nil {
+		t.Fatalf("gen.Block: %v", err)
+	}
+	blk, err := e.miner.Propose(txs)
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	var cert *core.Certificate
+	if withCert {
+		if cert, _, err = e.issuer.ProcessBlock(blk); err != nil {
+			t.Fatalf("ProcessBlock: %v", err)
+		}
+	}
+	writes, err := e.persist.ValidateBlock(blk)
+	if err != nil {
+		t.Fatalf("ValidateBlock: %v", err)
+	}
+	if _, err := e.persist.State().Commit(writes); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if _, err := e.persist.Store().Add(blk); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := eng.ApplyBlock(blk, cert, writes); err != nil {
+		t.Fatalf("ApplyBlock: %v", err)
+	}
+	e.blocks = append(e.blocks, blk)
+	e.certs = append(e.certs, cert)
+}
+
+func TestEngineColdStartRoundTrip(t *testing.T) {
+	env := newEngineEnv(t)
+	dir := t.TempDir()
+	eng, err := OpenEngine(dir, Options{SnapshotEvery: 4})
+	if err != nil {
+		t.Fatalf("OpenEngine: %v", err)
+	}
+	genesis := env.persist.Store().Best()
+	if err := eng.Bootstrap(genesis, nil); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		env.mine(t, eng, true)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	eng2, err := OpenEngine(dir, Options{SnapshotEvery: 4})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer eng2.Close()
+	rec := eng2.Recovery()
+	if rec.TipHeight() != 10 {
+		t.Fatalf("recovered tip %d, want 10", rec.TipHeight())
+	}
+	if rec.Torn || rec.DroppedBlocks != 0 {
+		t.Fatalf("clean shutdown recovered dirty: %+v", rec)
+	}
+	if rec.Checkpoint == nil || rec.Checkpoint.Height != 10 {
+		t.Fatalf("checkpoint = %+v, want height 10", rec.Checkpoint)
+	}
+	// Clean shutdown snapshots at the tip: the fast path needs no replay.
+	if rec.State == nil || rec.StateHeight != 10 {
+		t.Fatalf("state image at %d (nil=%v), want 10", rec.StateHeight, rec.State == nil)
+	}
+	if err := eng2.Bootstrap(genesis, nil); err != nil {
+		t.Fatalf("re-Bootstrap: %v", err)
+	}
+	n, err := eng2.ResumeNode(env.resumeCfg())
+	if err != nil {
+		t.Fatalf("ResumeNode: %v", err)
+	}
+	if n.Tip().Hash() != env.persist.Tip().Hash() {
+		t.Fatal("resumed tip differs from pre-shutdown tip")
+	}
+	root, err := n.State().Root()
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	if root != env.persist.Tip().Header.StateRoot {
+		t.Fatal("resumed state root differs")
+	}
+	// The recovered tip certificate still verifies.
+	cert, ok := eng2.CertFor(n.Tip().Hash())
+	if !ok {
+		t.Fatal("tip cert missing after recovery")
+	}
+	if err := cert.Verify(env.authority.PublicKey(), env.issuer.Measurement(), core.BlockDigest(&n.Tip().Header)); err != nil {
+		t.Fatalf("recovered cert must verify: %v", err)
+	}
+}
+
+func TestEnginePowerCutRecoversCertifiedPrefix(t *testing.T) {
+	env := newEngineEnv(t)
+	dir := t.TempDir()
+	fault := vfs.NewFault(vfs.OS{}, vfs.FaultPlan{Seed: 11})
+	eng, err := OpenEngine(dir, Options{FS: fault, FsyncInterval: time.Hour, SnapshotEvery: 3})
+	if err != nil {
+		t.Fatalf("OpenEngine: %v", err)
+	}
+	genesis := env.persist.Store().Best()
+	if err := eng.Bootstrap(genesis, nil); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		env.mine(t, eng, true)
+	}
+	// Pull the plug without Close: group commit means a suffix of appends
+	// (everything since the height-6 snapshot's sync) dies here.
+	if err := fault.PowerCut(); err != nil {
+		t.Fatalf("PowerCut: %v", err)
+	}
+
+	eng2, err := OpenEngine(dir, Options{SnapshotEvery: 3})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer eng2.Close()
+	rec := eng2.Recovery()
+	tip := rec.TipHeight()
+	if tip < 6 || tip > 8 {
+		t.Fatalf("recovered tip %d, want within [6,8] (snapshot sync floor)", tip)
+	}
+	// The recovered blocks are an exact prefix of what was mined.
+	for i, blk := range rec.Blocks[1:] {
+		if blk.Hash() != env.blocks[i].Hash() {
+			t.Fatalf("recovered block %d diverges from mined chain", i+1)
+		}
+	}
+	if rec.Checkpoint == nil || rec.Checkpoint.Height != tip {
+		t.Fatalf("checkpoint %+v, want height %d", rec.Checkpoint, tip)
+	}
+	if err := eng2.Bootstrap(genesis, nil); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	n, err := eng2.ResumeNode(env.resumeCfg())
+	if err != nil {
+		t.Fatalf("ResumeNode: %v", err)
+	}
+	root, err := n.State().Root()
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	if root != rec.Blocks[tip].Header.StateRoot {
+		t.Fatal("resumed state does not match recovered tip")
+	}
+}
+
+func TestEngineDropsUncertifiedTail(t *testing.T) {
+	env := newEngineEnv(t)
+	dir := t.TempDir()
+	eng, err := OpenEngine(dir, Options{SnapshotEvery: 100})
+	if err != nil {
+		t.Fatalf("OpenEngine: %v", err)
+	}
+	genesis := env.persist.Store().Best()
+	if err := eng.Bootstrap(genesis, nil); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	env.mine(t, eng, true)
+	env.mine(t, eng, true)
+	env.mine(t, eng, false) // issuer down: block persisted without a cert
+	env.mine(t, eng, false)
+	if err := eng.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	// Crash without Close (Close would snapshot; the sync already made the
+	// uncertified blocks durable — recovery must still refuse them).
+	eng.chainLog.Close()
+	eng.stateWAL.Close()
+
+	eng2, err := OpenEngine(dir, Options{SnapshotEvery: 100})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer eng2.Close()
+	rec := eng2.Recovery()
+	if rec.TipHeight() != 2 {
+		t.Fatalf("recovered tip %d, want 2 (certified prefix)", rec.TipHeight())
+	}
+	if rec.DroppedBlocks != 2 {
+		t.Fatalf("dropped %d blocks, want 2", rec.DroppedBlocks)
+	}
+	// The log was physically truncated: appending a *different* height-3
+	// block later can never collide with the dropped one.
+	var heights []uint64
+	err = eng2.chainLog.Scan(func(tag byte, payload []byte) error {
+		if tag == tagBlock {
+			blk, err := chain.UnmarshalBlock(payload)
+			if err != nil {
+				return err
+			}
+			heights = append(heights, blk.Header.Height)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(heights) != 3 || heights[2] != 2 {
+		t.Fatalf("physical log holds heights %v, want [0 1 2]", heights)
+	}
+}
+
+func TestEngineLateCertExtendsCertifiedPrefix(t *testing.T) {
+	env := newEngineEnv(t)
+	dir := t.TempDir()
+	eng, err := OpenEngine(dir, Options{SnapshotEvery: 100})
+	if err != nil {
+		t.Fatalf("OpenEngine: %v", err)
+	}
+	genesis := env.persist.Store().Best()
+	if err := eng.Bootstrap(genesis, nil); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	env.mine(t, eng, true)
+	env.mine(t, eng, false)
+	env.mine(t, eng, false)
+	// The issuer catches up and re-certifies the missed blocks; the certs
+	// land after the blocks in the log (ApplyCert path).
+	for i := 1; i < 3; i++ {
+		blk := env.blocks[i]
+		cert, _, err := env.issuer.ProcessBlock(blk)
+		if err != nil {
+			t.Fatalf("catch-up ProcessBlock: %v", err)
+		}
+		if err := eng.ApplyCert(blk.Hash(), cert); err != nil {
+			t.Fatalf("ApplyCert: %v", err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	eng2, err := OpenEngine(dir, Options{SnapshotEvery: 100})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer eng2.Close()
+	if got := eng2.Recovery().TipHeight(); got != 3 {
+		t.Fatalf("recovered tip %d, want 3 (late certs extend the prefix)", got)
+	}
+	if eng2.Recovery().DroppedBlocks != 0 {
+		t.Fatalf("dropped %d blocks, want 0", eng2.Recovery().DroppedBlocks)
+	}
+}
+
+func TestEngineIdempotentApply(t *testing.T) {
+	env := newEngineEnv(t)
+	dir := t.TempDir()
+	eng, err := OpenEngine(dir, Options{})
+	if err != nil {
+		t.Fatalf("OpenEngine: %v", err)
+	}
+	defer eng.Close()
+	genesis := env.persist.Store().Best()
+	if err := eng.Bootstrap(genesis, nil); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	env.mine(t, eng, true)
+	// A second issuer slot re-announcing the same height is a no-op.
+	if err := eng.ApplyBlock(env.blocks[0], env.certs[0], nil); err != nil {
+		t.Fatalf("duplicate ApplyBlock: %v", err)
+	}
+	if eng.TipHeight() != 1 {
+		t.Fatalf("tip %d, want 1", eng.TipHeight())
+	}
+	// A gapped height is refused.
+	future := &chain.Block{Header: chain.Header{Height: 5}}
+	if err := eng.ApplyBlock(future, nil, nil); err == nil {
+		t.Fatal("gapped ApplyBlock must fail")
+	}
+}
+
+func TestEngineRejectsForeignGenesis(t *testing.T) {
+	env := newEngineEnv(t)
+	dir := t.TempDir()
+	eng, err := OpenEngine(dir, Options{})
+	if err != nil {
+		t.Fatalf("OpenEngine: %v", err)
+	}
+	genesis := env.persist.Store().Best()
+	if err := eng.Bootstrap(genesis, nil); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	env.mine(t, eng, true)
+	if err := eng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	eng2, err := OpenEngine(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer eng2.Close()
+	other := &chain.Block{Header: chain.Header{Height: 0, Time: 999}}
+	if err := eng2.Bootstrap(other, nil); err == nil {
+		t.Fatal("foreign genesis must be refused")
+	}
+}

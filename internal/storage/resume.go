@@ -1,0 +1,147 @@
+package storage
+
+import (
+	"fmt"
+
+	"dcert/internal/chain"
+	"dcert/internal/consensus"
+	"dcert/internal/node"
+	"dcert/internal/statedb"
+	"dcert/internal/vm"
+)
+
+// ResumeConfig describes how to rebuild a full node from an engine's
+// recovered chain.
+type ResumeConfig struct {
+	// Backend selects the state commitment structure.
+	Backend statedb.BackendKind
+	// Registry is the contract registry (shared across nodes).
+	Registry *vm.Registry
+	// Params are the consensus parameters.
+	Params consensus.Params
+	// GenesisState is the full key/value image at height 0, used when the
+	// durable state image cannot be trusted and the chain must be replayed.
+	GenesisState map[string][]byte
+	// Restore re-journals replayed write sets into the engine's state WAL,
+	// rebuilding durability as the replay proceeds. Set it on exactly one
+	// resumed node per engine (the others share the recovered image without
+	// touching the journal).
+	Restore bool
+}
+
+// ResumeNode rebuilds a full node at the engine's recovered tip. The fast
+// path loads the snapshot+WAL state image and links recovered blocks
+// without re-execution; if the image does not reproduce the chain's state
+// root commitment, the node falls back to replaying transactions from
+// genesis (and, with Restore, re-journals the write sets so the next cold
+// start is fast again). Call after Bootstrap.
+func (e *Engine) ResumeNode(cfg ResumeConfig) (*node.FullNode, error) {
+	if cfg.Backend == 0 {
+		cfg.Backend = statedb.BackendMPT
+	}
+	e.mu.Lock()
+	blocks := append([]*chain.Block(nil), e.blocks...)
+	e.mu.Unlock()
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("storage: resume before bootstrap")
+	}
+
+	rec := e.rec
+	if rec.State != nil && rec.StateHeight < uint64(len(blocks)) {
+		n, err := e.resumeFast(cfg, blocks)
+		if err == nil {
+			return n, nil
+		}
+		// The image is unusable after all; fall through to full replay.
+	}
+	return e.resumeReplay(cfg, blocks)
+}
+
+// resumeFast builds the statedb from the recovered image and links blocks
+// without re-execution, validating only blocks past the image height.
+func (e *Engine) resumeFast(cfg ResumeConfig, blocks []*chain.Block) (*node.FullNode, error) {
+	rec := e.rec
+	db, err := statedb.NewWithBackend(cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range rec.State {
+		if err := db.Set([]byte(k), v); err != nil {
+			return nil, err
+		}
+	}
+	root, err := db.Root()
+	if err != nil {
+		return nil, err
+	}
+	m := rec.StateHeight
+	if root != blocks[m].Header.StateRoot {
+		return nil, fmt.Errorf("%w: state image root mismatch at height %d", ErrCorrupt, m)
+	}
+	n, err := node.ResumeFullNode(blocks[:m+1], db, cfg.Registry, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	// Validate and apply any certified blocks past the image height.
+	for _, blk := range blocks[m+1:] {
+		writes, err := n.ValidateBlock(blk)
+		if err != nil {
+			return nil, fmt.Errorf("storage: resume validate height %d: %w", blk.Header.Height, err)
+		}
+		if _, err := n.State().Commit(writes); err != nil {
+			return nil, err
+		}
+		if _, err := n.Store().Add(blk); err != nil {
+			return nil, err
+		}
+		if cfg.Restore {
+			if err := e.RestoreState(blk.Header.Height, blk.Header.StateRoot, writes); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// resumeReplay rebuilds the node by replaying every block's transactions
+// from the genesis state — the slow, trust-nothing path.
+func (e *Engine) resumeReplay(cfg ResumeConfig, blocks []*chain.Block) (*node.FullNode, error) {
+	if cfg.Restore {
+		// Re-root the journal at genesis so the replayed write sets form a
+		// contiguous WAL on a complete base image.
+		if err := e.resetState(cfg.GenesisState, blocks[0].Header.StateRoot); err != nil {
+			return nil, err
+		}
+	}
+	db, err := statedb.NewWithBackend(cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range cfg.GenesisState {
+		if err := db.Set([]byte(k), v); err != nil {
+			return nil, err
+		}
+	}
+	n, err := node.NewFullNode(blocks[0], db, cfg.Registry, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	for _, blk := range blocks[1:] {
+		writes, err := n.ValidateBlock(blk)
+		if err != nil {
+			return nil, fmt.Errorf("storage: resume replay height %d: %w", blk.Header.Height, err)
+		}
+		if _, err := n.State().Commit(writes); err != nil {
+			return nil, err
+		}
+		if _, err := n.Store().Add(blk); err != nil {
+			return nil, err
+		}
+		if cfg.Restore {
+			if err := e.RestoreState(blk.Header.Height, blk.Header.StateRoot, writes); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return n, nil
+}

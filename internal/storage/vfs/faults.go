@@ -1,0 +1,306 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+)
+
+// ErrInjected marks a fault injected by a Fault FS, so tests can tell an
+// injected disk failure from a real one.
+var ErrInjected = errors.New("vfs: injected disk fault")
+
+// FaultPlan is a seeded, deterministic disk-fault schedule. Write and sync
+// operations are counted globally (1-based, across all files on the FS);
+// each trigger fires once when its counter is reached. The zero value
+// injects nothing.
+//
+// The plan models the failure vocabulary of commodity disks:
+//
+//   - FailWriteOp: the Nth write returns an I/O error with nothing written
+//     (dead device, full disk).
+//   - ShortWriteOp: the Nth write persists only a prefix of the buffer and
+//     then errors — a torn write at the syscall boundary.
+//   - FailSyncOp: the Nth fsync returns an error without flushing; the
+//     caller knows durability was not achieved.
+//   - OmitSyncOp: the Nth fsync silently does nothing — a lying disk; the
+//     caller believes the data is durable, a later power cut proves
+//     otherwise.
+//
+// A PowerCut then discards every byte not covered by a successful sync,
+// optionally leaving a seeded fraction of the un-synced tail behind (the
+// sectors that happened to hit the platter) with a flipped byte in it (a
+// torn, corrupted frame).
+type FaultPlan struct {
+	// Seed drives the torn-tail dice.
+	Seed int64
+	// FailWriteOp fails the Nth write outright (0 = never).
+	FailWriteOp uint64
+	// ShortWriteOp tears the Nth write in half (0 = never).
+	ShortWriteOp uint64
+	// FailSyncOp fails the Nth sync loudly (0 = never).
+	FailSyncOp uint64
+	// OmitSyncOp turns the Nth sync into a silent no-op (0 = never).
+	OmitSyncOp uint64
+	// TornTail, in [0,1], is the fraction of each file's un-synced bytes a
+	// PowerCut leaves behind (sector-granularity survival). 0 drops all
+	// un-synced bytes.
+	TornTail float64
+	// FlipInTorn corrupts one random byte of each surviving torn tail.
+	FlipInTorn bool
+}
+
+// FaultStats counts what a Fault FS has seen and injected.
+type FaultStats struct {
+	// Writes and Syncs are the global operation counts.
+	Writes uint64
+	Syncs  uint64
+	// Injected counts faults actually fired (including omitted syncs).
+	Injected uint64
+	// CutBytes is the total number of bytes discarded by power cuts.
+	CutBytes int64
+}
+
+// Fault wraps an FS with the plan's fault schedule and power-cut support.
+// It tracks, per file, how many bytes a successful sync has made durable;
+// everything beyond that is "page cache" and dies with the power.
+type Fault struct {
+	base FS
+	plan FaultPlan
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats FaultStats
+	// files maps path → durability state, surviving close/reopen.
+	files map[string]*fileDurability
+}
+
+// fileDurability is the per-path page-cache model.
+type fileDurability struct {
+	// synced is the file size covered by the last effective sync.
+	synced int64
+	// pending holds the written-but-unsynced byte suffix.
+	pending []byte
+}
+
+// NewFault wraps base with a seeded fault plan.
+func NewFault(base FS, plan FaultPlan) *Fault {
+	return &Fault{
+		base:  base,
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+		files: make(map[string]*fileDurability),
+	}
+}
+
+// Stats snapshots the fault counters.
+func (fs *Fault) Stats() FaultStats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// OpenFile implements FS. Files opened for writing are tracked for
+// power-cut accounting; read-only opens pass through untracked.
+func (fs *Fault) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := fs.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	if flag&(os.O_WRONLY|os.O_RDWR) == 0 {
+		return f, nil
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	st, ok := fs.files[name]
+	if !ok || flag&os.O_TRUNC != 0 {
+		st = &fileDurability{}
+		fs.files[name] = st
+	}
+	if !ok {
+		// First sighting of a pre-existing file (e.g. reopened after a
+		// recovery pass on a fresh Fault FS): whatever is on disk now is
+		// considered durable.
+		if size, serr := f.Size(); serr == nil {
+			st.synced = size
+		}
+	}
+	return &faultFile{fs: fs, f: f, st: st}, nil
+}
+
+// Rename implements FS. Metadata operations are modelled as durable (the
+// engine's snapshot writer syncs file contents before renaming; directory
+// entry loss is out of scope for this fault model).
+func (fs *Fault) Rename(oldpath, newpath string) error {
+	if err := fs.base.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if st, ok := fs.files[oldpath]; ok {
+		delete(fs.files, oldpath)
+		fs.files[newpath] = st
+	}
+	return nil
+}
+
+// Remove implements FS.
+func (fs *Fault) Remove(name string) error {
+	if err := fs.base.Remove(name); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.files, name)
+	return nil
+}
+
+// MkdirAll implements FS.
+func (fs *Fault) MkdirAll(dir string, perm os.FileMode) error {
+	return fs.base.MkdirAll(dir, perm)
+}
+
+// ReadDir implements FS.
+func (fs *Fault) ReadDir(dir string) ([]string, error) {
+	return fs.base.ReadDir(dir)
+}
+
+// Stat implements FS.
+func (fs *Fault) Stat(name string) (os.FileInfo, error) {
+	return fs.base.Stat(name)
+}
+
+// PowerCut simulates pulling the plug: for every tracked file, bytes not
+// covered by an effective sync are discarded, except for a seeded TornTail
+// fraction that survives (optionally with one byte flipped). The FS remains
+// usable afterwards — reopening a file sees exactly what "survived on
+// disk", which is what a recovery pass must cope with.
+func (fs *Fault) PowerCut() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for path, st := range fs.files {
+		if len(st.pending) == 0 {
+			continue
+		}
+		keep := int(float64(len(st.pending)) * fs.plan.TornTail)
+		if keep > len(st.pending) {
+			keep = len(st.pending)
+		}
+		torn := append([]byte(nil), st.pending[:keep]...)
+		if fs.plan.FlipInTorn && len(torn) > 0 {
+			torn[fs.rng.Intn(len(torn))] ^= 0xA5
+		}
+		// O_APPEND: the torn tail must land after the synced prefix, not at
+		// the fresh handle's offset 0.
+		f, err := fs.base.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("vfs: power cut %s: %w", path, err)
+		}
+		err = f.Truncate(st.synced)
+		if err == nil && len(torn) > 0 {
+			_, err = f.Write(torn)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("vfs: power cut %s: %w", path, err)
+		}
+		fs.stats.CutBytes += int64(len(st.pending) - keep)
+		st.synced += int64(len(torn))
+		st.pending = nil
+	}
+	return nil
+}
+
+// faultFile wraps a base file with the plan's schedule.
+type faultFile struct {
+	fs *Fault
+	f  File
+	st *fileDurability
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	f.fs.stats.Writes++
+	op := f.fs.stats.Writes
+	plan := f.fs.plan
+	switch {
+	case plan.FailWriteOp != 0 && op == plan.FailWriteOp:
+		f.fs.stats.Injected++
+		f.fs.mu.Unlock()
+		return 0, fmt.Errorf("%w: write op %d failed", ErrInjected, op)
+	case plan.ShortWriteOp != 0 && op == plan.ShortWriteOp:
+		f.fs.stats.Injected++
+		f.fs.mu.Unlock()
+		n, err := f.f.Write(p[:len(p)/2])
+		f.fs.mu.Lock()
+		f.st.pending = append(f.st.pending, p[:n]...)
+		f.fs.mu.Unlock()
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w: write op %d torn after %d/%d bytes", ErrInjected, op, n, len(p))
+	}
+	f.fs.mu.Unlock()
+	n, err := f.f.Write(p)
+	f.fs.mu.Lock()
+	f.st.pending = append(f.st.pending, p[:n]...)
+	f.fs.mu.Unlock()
+	return n, err
+}
+
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	f.fs.stats.Syncs++
+	op := f.fs.stats.Syncs
+	plan := f.fs.plan
+	switch {
+	case plan.FailSyncOp != 0 && op == plan.FailSyncOp:
+		f.fs.stats.Injected++
+		f.fs.mu.Unlock()
+		return fmt.Errorf("%w: sync op %d failed", ErrInjected, op)
+	case plan.OmitSyncOp != 0 && op == plan.OmitSyncOp:
+		// The lying disk: report success, persist nothing.
+		f.fs.stats.Injected++
+		f.fs.mu.Unlock()
+		return nil
+	}
+	f.fs.mu.Unlock()
+	if err := f.f.Sync(); err != nil {
+		return err
+	}
+	size, err := f.f.Size()
+	if err != nil {
+		return err
+	}
+	f.fs.mu.Lock()
+	// Everything the file holds now has reached stable storage.
+	f.st.synced = size
+	f.st.pending = nil
+	f.fs.mu.Unlock()
+	return nil
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+func (f *faultFile) Close() error                            { return f.f.Close() }
+func (f *faultFile) Name() string                            { return f.f.Name() }
+func (f *faultFile) Size() (int64, error)                    { return f.f.Size() }
+
+func (f *faultFile) Truncate(size int64) error {
+	if err := f.f.Truncate(size); err != nil {
+		return err
+	}
+	f.fs.mu.Lock()
+	// A truncate during recovery discards the torn tail; the remaining
+	// prefix is whatever the file holds now, and the pending model resets
+	// (recovery syncs after repair).
+	if size < f.st.synced {
+		f.st.synced = size
+	}
+	f.st.pending = nil
+	f.fs.mu.Unlock()
+	return nil
+}

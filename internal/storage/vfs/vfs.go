@@ -1,0 +1,152 @@
+// Package vfs abstracts the file-system operations the storage engine
+// performs, so that disk faults — write errors, short writes, failed or
+// lying fsyncs, power cuts that discard un-synced bytes — can be injected
+// deterministically under the same seam the real OS implementation uses.
+// It is the disk analogue of internal/network's fault fabric: production
+// code runs on OS, chaos plans run on Fault wrapping OS.
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the slice of file-system behaviour the storage engine needs.
+// Implementations must be safe for concurrent use by multiple goroutines
+// operating on distinct files.
+type FS interface {
+	// OpenFile opens (or creates) a file with the given flags.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates a directory and its parents.
+	MkdirAll(dir string, perm os.FileMode) error
+	// ReadDir lists a directory's entry names in lexical order.
+	ReadDir(dir string) ([]string, error)
+	// Stat returns file metadata.
+	Stat(name string) (os.FileInfo, error)
+}
+
+// File is an open file handle. Writes always append at the current end of
+// file (the engine's logs are append-only; snapshots are written once).
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Sync flushes written bytes to stable storage.
+	Sync() error
+	// Truncate cuts the file to the given size.
+	Truncate(size int64) error
+	// Size returns the current file size.
+	Size() (int64, error)
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// OS is the production FS backed by the operating system.
+type OS struct{}
+
+var _ FS = OS{}
+
+type osFile struct {
+	f *os.File
+}
+
+// OpenFile implements FS.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{f: f}, nil
+}
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error {
+	return os.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (OS) Remove(name string) error {
+	return os.Remove(name)
+}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string, perm os.FileMode) error {
+	return os.MkdirAll(dir, perm)
+}
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Stat implements FS.
+func (OS) Stat(name string) (os.FileInfo, error) {
+	return os.Stat(name)
+}
+
+func (f *osFile) Write(p []byte) (int, error)             { return f.f.Write(p) }
+func (f *osFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+func (f *osFile) Close() error                            { return f.f.Close() }
+func (f *osFile) Sync() error                             { return f.f.Sync() }
+func (f *osFile) Truncate(size int64) error               { return f.f.Truncate(size) }
+func (f *osFile) Name() string                            { return f.f.Name() }
+
+func (f *osFile) Size() (int64, error) {
+	info, err := f.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// ReadFile reads a whole file through an FS.
+func ReadFile(fs FS, name string) ([]byte, error) {
+	f, err := fs.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	if size == 0 {
+		return buf, nil
+	}
+	// io.ReaderAt reads len(buf) bytes or returns an error, so one call
+	// covers the file.
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("vfs: read %s: %w", name, err)
+	}
+	return buf, nil
+}
+
+// Exists reports whether a path exists on the FS.
+func Exists(fs FS, name string) bool {
+	_, err := fs.Stat(name)
+	return err == nil
+}
+
+// Join is filepath.Join, re-exported so engine code depends only on vfs.
+func Join(elem ...string) string {
+	return filepath.Join(elem...)
+}

@@ -80,6 +80,9 @@ func (d *Deployment) EnableObservability(logger *Logger) (*MetricsRegistry, *Tra
 	d.logger = logger
 	d.net.Instrument(d.reg)
 	d.issuer.Instrument(d.reg, d.tracer, logger, "ci0")
+	if d.engine != nil {
+		d.engine.Instrument(d.reg)
+	}
 	return d.reg, d.tracer
 }
 
