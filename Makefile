@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 chaos chaos-obs chaos-disk fmt vet bench bench-state bench-json clean
+.PHONY: all tier1 tier2 chaos chaos-obs chaos-disk chaos-net fmt vet bench bench-state bench-json clean
 
 all: tier1
 
@@ -38,6 +38,14 @@ chaos-obs:
 # and the resumed issuer never double-signs a recovered height.
 chaos-disk:
 	$(GO) test -race -count=1 -run 'TestChaosDisk' -v .
+
+# Chaos over the wire transport: seeded fault plans constrain traffic that
+# genuinely crossed TCP sockets (remote followers attached via DialWire),
+# with registry counters reconciled against the fault ledger, plus the
+# cross-process test that spawns real dcert-node/dcert-query subprocesses
+# over loopback and SIGKILLs the node mid-run.
+chaos-net:
+	$(GO) test -race -count=1 -run 'TestChaosNet|TestCrossProcess' -v .
 
 fmt:
 	@out="$$(gofmt -l .)"; \

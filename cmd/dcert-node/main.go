@@ -8,7 +8,17 @@
 //
 //	dcert-node [-blocks N] [-txs N] [-workload DN|CPU|IO|KV|SB] [-tee sgx|trustzone|multizone|sev] [-interval d]
 //	           [-pipeline W] [-debug-addr host:port] [-linger d]
-//	           [-data-dir path] [-fsync-interval d]
+//	           [-data-dir path] [-fsync-interval d] [-listen host:port]
+//
+// With -listen the node becomes a multi-process server: after mining its
+// blocks it keeps running, serving the wire transport protocol on the given
+// address — live certificate/block topic streams, certificate catch-up, and
+// the RPC routes (node info, latest certificate, raw blocks, verifiable
+// queries) — until interrupted. Point dcert-query -connect (or any
+// dcert.DialWire client) at the printed address from another OS process.
+// Combined with -data-dir, kill -9 the server and rerun with the same
+// directory: it recovers, mines on, and remote clients re-verify against the
+// same trust anchors.
 //
 // With -debug-addr the node serves its instrumentation plane over HTTP while
 // it runs: /metrics (Prometheus text), /debug/spans, /healthz, and
@@ -28,7 +38,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"dcert"
@@ -63,6 +75,7 @@ func run() error {
 	linger := flag.Duration("linger", 0, "keep the debug server up this long after the run (for scraping)")
 	dataDir := flag.String("data-dir", "", "durable data directory (empty = in-memory only); rerun with the same directory to resume after a crash")
 	fsyncInterval := flag.Duration("fsync-interval", 0, "batch log fsyncs at this interval (group commit); 0 = fsync every append")
+	listen := flag.String("listen", "", "serve the wire transport on this address (host:port, :0 picks a port) and keep running until interrupted")
 	flag.Parse()
 
 	kind, err := parseWorkload(*workloadFlag)
@@ -113,6 +126,10 @@ func run() error {
 		fmt.Printf("  debug endpoint:         %s/metrics  /debug/spans  /healthz  /debug/pprof/\n", dbg.URL())
 	}
 
+	if *listen != "" {
+		return runServer(dep, *listen, *blocks, *txs, *interval)
+	}
+
 	client := dep.NewSuperlightClient()
 	var runErr error
 	if *pipeline > 0 {
@@ -135,6 +152,49 @@ func run() error {
 		fmt.Printf("debug server up for another %v...\n", *linger)
 		time.Sleep(*linger)
 	}
+	return nil
+}
+
+// runServer runs the node as a long-lived wire server: a certification
+// plane with catch-up responders, the networked query service, and the TCP
+// transport bridged onto the deployment's fabric. It mines the requested
+// blocks (each broadcast as a live CertBundle on the certificate topic),
+// then serves until SIGINT/SIGTERM.
+func runServer(dep *dcert.Deployment, addr string, blocks, txs int, interval time.Duration) error {
+	plane, err := dep.StartCertPlane(1)
+	if err != nil {
+		return err
+	}
+	defer plane.Stop()
+	qs := dep.ServeQueries()
+	defer qs.Stop()
+	srv, err := dep.ServeWire(dcert.WireServerConfig{Addr: addr})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	// The "serving on" line is the machine-readable readiness signal:
+	// integration harnesses parse the bound address from it.
+	fmt.Printf("wire: serving on %s\n", srv.Addr())
+
+	for i := 1; i <= blocks; i++ {
+		blk, err := plane.MineAndBroadcast(txs)
+		if err != nil {
+			return fmt.Errorf("block %d: %w", i, err)
+		}
+		fmt.Printf("block %4d  hash=%s  txs=%d  broadcast\n", blk.Header.Height, blk.Hash(), len(blk.Txs))
+		if interval > 0 {
+			time.Sleep(interval)
+		}
+	}
+	fmt.Printf("wire: mining done at height %d; serving until interrupted\n", dep.Miner().Store().BestHeight())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := srv.Stats()
+	fmt.Printf("wire: shutting down (conns=%d subs=%d sent=%d dropped=%d publishes=%d requests=%d)\n",
+		st.ActiveConns, st.ActiveSubs, st.MessagesSent, st.SlowDrops, st.Publishes, st.Requests)
 	return nil
 }
 

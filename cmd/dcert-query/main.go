@@ -6,10 +6,20 @@
 // Usage:
 //
 //	dcert-query [-blocks N] [-txs N] [-window N] [-keywords w1,w2] [-debug-addr host:port]
+//	dcert-query -connect host:port [-state-key key]
 //
 // With -debug-addr the instrumentation plane (Ecall counters split block vs
 // index, certification latency histograms, /healthz, pprof) is served over
 // HTTP while the program runs.
+//
+// With -connect the program becomes a remote superlight client: it dials a
+// dcert-node -listen server over the wire transport, fetches the node's
+// trust anchors (trust-on-first-use for this demo — production clients pin
+// them out of band), validates the latest certificate at constant cost,
+// and runs a verifiable state query over the socket, checking the Merkle
+// proof against the certified state root. -state-key overrides the queried
+// key; by default the key of the tip block's last KVStore write is used, so
+// the presence proof is exercised against live data.
 package main
 
 import (
@@ -29,13 +39,105 @@ func main() {
 	}
 }
 
+// runRemote is the multi-process path: a superlight client over a real
+// socket. Everything it trusts is verified — the certificate chain against
+// the attested enclave key, and the query result against the certified
+// state root — so the node across the wire could lie about anything and be
+// caught.
+func runRemote(addr, stateKey string) error {
+	wc, err := dcert.DialWire(addr, dcert.WireClientConfig{Name: "dcert-query"})
+	if err != nil {
+		return err
+	}
+	defer wc.Close()
+
+	client, err := dcert.NewRemoteSuperlightClient(wc)
+	if err != nil {
+		return err
+	}
+	bundle, err := dcert.RequestLatestBundle(wc)
+	if err != nil {
+		return err
+	}
+	if bundle == nil {
+		return fmt.Errorf("node at %s has not certified any block yet", addr)
+	}
+	start := time.Now()
+	if err := client.ValidateChain(bundle.Header, bundle.Cert); err != nil {
+		return fmt.Errorf("certificate validation FAILED: %w", err)
+	}
+	fmt.Printf("connected to %s\n", addr)
+	fmt.Printf("certified tip height %d VERIFIED in %v (client storage %d bytes)\n",
+		bundle.Header.Height, time.Since(start).Round(time.Microsecond), client.StorageSize())
+
+	// Default the queried key to the tip block's last KVStore write, so the
+	// proof demonstrates presence against live data.
+	if stateKey == "" {
+		tip, err := dcert.RequestTipBlock(wc)
+		if err != nil {
+			return err
+		}
+		for i := len(tip.Txs) - 1; i >= 0; i-- {
+			if tx := tip.Txs[i]; tx.Method == "set" && len(tx.Args) > 0 {
+				stateKey = "ct/" + tx.Contract + "/kv/" + string(tx.Args[0])
+				break
+			}
+		}
+		if stateKey == "" {
+			return fmt.Errorf("tip block has no KVStore write; pass -state-key")
+		}
+	}
+
+	// RPC path: one-shot request/response over the wire's route table.
+	hdr, _ := client.Latest()
+	start = time.Now()
+	resp, err := dcert.RequestQuery(wc, dcert.NewRemoteStateRequest(stateKey))
+	if err != nil {
+		return err
+	}
+	res, err := dcert.ParseStateResult(resp)
+	if err != nil {
+		return err
+	}
+	if err := dcert.VerifyState(hdr, res); err != nil {
+		return fmt.Errorf("state verification FAILED: %w", err)
+	}
+	presence := "present"
+	if res.Value == nil {
+		presence = "proven absent"
+	}
+	fmt.Printf("state query %q (RPC path): %s, value %x, proof %d bytes, VERIFIED in %v\n",
+		stateKey, presence, res.Value, res.EncodedSize(), time.Since(start).Round(time.Microsecond))
+
+	// Topic path: the same query through the streaming pub/sub fabric —
+	// the wire client is a drop-in network bus.
+	req := dcert.NewQueryRequesterOver(wc, 5*time.Second)
+	defer req.Close()
+	start = time.Now()
+	res2, err := req.State(stateKey)
+	if err != nil {
+		return err
+	}
+	if err := dcert.VerifyState(hdr, res2); err != nil {
+		return fmt.Errorf("state verification (topic path) FAILED: %w", err)
+	}
+	fmt.Printf("state query %q (topic path): VERIFIED in %v\n", stateKey, time.Since(start).Round(time.Microsecond))
+	return nil
+}
+
 func run() error {
 	blocks := flag.Int("blocks", 20, "number of blocks to build")
 	txs := flag.Int("txs", 30, "transactions per block")
 	window := flag.Int("window", 10, "historical query window in blocks")
 	keywords := flag.String("keywords", "deposit_check", "comma-separated conjunctive keywords")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/spans, /healthz, /debug/pprof on this address")
+	connect := flag.String("connect", "", "act as a remote client of a dcert-node -listen server at this address")
+	stateKey := flag.String("state-key", "", "state key to query remotely (default: the tip block's last KVStore write)")
 	flag.Parse()
+
+	if *connect != "" {
+		return runRemote(*connect, *stateKey)
+	}
 
 	dep, err := dcert.NewDeployment(dcert.Config{
 		Workload:   dcert.SmallBank,

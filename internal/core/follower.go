@@ -74,7 +74,7 @@ type FollowerStats struct {
 // re-requesting the latest certificate whenever the stream stalls.
 type Follower struct {
 	client *SuperlightClient
-	net    *network.Network
+	net    network.Bus
 	sub    *network.Subscription
 	cfg    FollowerConfig
 	done   chan struct{}
@@ -85,7 +85,7 @@ type Follower struct {
 }
 
 // FollowCerts starts following certificate bundles on the client's behalf.
-func FollowCerts(client *SuperlightClient, net *network.Network, cfg FollowerConfig) *Follower {
+func FollowCerts(client *SuperlightClient, net network.Bus, cfg FollowerConfig) *Follower {
 	cfg = cfg.withDefaults()
 	f := &Follower{
 		client: client,
@@ -197,7 +197,7 @@ func (f *Follower) WaitForHeight(height uint64, timeout time.Duration) error {
 // TopicCerts (a broadcast, so all stalled clients benefit from one answer).
 type CertResponder struct {
 	ci   *Issuer
-	net  *network.Network
+	net  network.Bus
 	name string
 	sub  *network.Subscription
 	done chan struct{}
@@ -206,7 +206,7 @@ type CertResponder struct {
 
 // ServeCertRequests starts answering catch-up requests on the issuer's
 // behalf under the given fabric identity.
-func ServeCertRequests(ci *Issuer, net *network.Network, name string) *CertResponder {
+func ServeCertRequests(ci *Issuer, net network.Bus, name string) *CertResponder {
 	r := &CertResponder{
 		ci:   ci,
 		net:  net,

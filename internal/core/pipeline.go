@@ -462,9 +462,19 @@ func (pl *Pipeline) committer() {
 	defer pl.wg.Done()
 	defer close(pl.indexCh)
 	prev, prevCert := pl.ci.certifiedTip()
+	// Items arrive in block order, so the abort gate is local: blocks
+	// before the first failed one must still certify even when a later
+	// block has already tripped the pipeline-wide failed flag (the
+	// executor runs ahead of the Ecall), and everything from the first
+	// failure onward aborts.
+	aborted := false
 	for item := range pl.commitCh {
 		pl.po.queueCommit.Add(-1)
-		if item.res.Err == nil && !pl.failed.Load() {
+		if item.res.Err != nil {
+			aborted = true
+		} else if aborted {
+			item.res.Err = pl.abortErr()
+		} else {
 			sp := pl.ci.met.tracer.Start("pipeline.commit", item.span.ID())
 			start := time.Now()
 			err := pl.commitOne(prev, prevCert, item)
@@ -473,6 +483,7 @@ func (pl *Pipeline) committer() {
 			if err != nil {
 				item.res.Err = err
 				pl.fail(err)
+				aborted = true
 			} else {
 				prev, prevCert = item.blk, item.res.Cert
 				pl.po.blocks.Inc()
@@ -480,8 +491,6 @@ func (pl *Pipeline) committer() {
 				pl.stats.Blocks++
 				pl.mu.Unlock()
 			}
-		} else if item.res.Err == nil {
-			item.res.Err = pl.abortErr()
 		}
 		if pl.cfg.IndexJobs != nil {
 			pl.po.queueIndex.Add(1)
@@ -518,9 +527,13 @@ func (pl *Pipeline) commitOne(prev *chain.Block, prevCert *Certificate, item *pi
 // blocks so each index's own certificate recursion stays intact.
 func (pl *Pipeline) indexer() {
 	defer pl.wg.Done()
+	// No pipeline-wide failed check here: the committer has already marked
+	// every item from the first failure onward, and a block it did commit
+	// is certified — its index certs must follow even if a later block has
+	// since failed.
 	for item := range pl.indexCh {
 		pl.po.queueIndex.Add(-1)
-		if item.res.Err == nil && !pl.failed.Load() {
+		if item.res.Err == nil {
 			sp := pl.ci.met.tracer.Start("pipeline.index", item.span.ID())
 			start := time.Now()
 			err := pl.indexOne(item)

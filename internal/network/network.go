@@ -75,15 +75,18 @@ func New(opts ...Option) *Network {
 	return n
 }
 
-// Subscription is one subscriber's inbound queue.
+// Subscription is one subscriber's inbound queue. It is minted either by
+// Network.Subscribe (attached to the in-process fabric) or by
+// NewDetachedSubscription (fed by a wire transport).
 type Subscription struct {
 	// C delivers messages in publish order (per publisher).
 	C <-chan Message
 
-	net    *Network
-	topic  string
-	ch     chan Message
-	cancel sync.Once
+	net      *Network // nil for detached subscriptions
+	topic    string
+	ch       chan Message
+	cancel   sync.Once
+	onCancel func() // transport teardown hook, nil when attached
 
 	// mu guards closed so in-flight deliveries never race Cancel's close of
 	// ch (a concurrent Publish must not send on a closed channel).
@@ -94,26 +97,17 @@ type Subscription struct {
 // Cancel removes the subscription and closes C.
 func (s *Subscription) Cancel() {
 	s.cancel.Do(func() {
-		s.net.remove(s)
+		if s.net != nil {
+			s.net.remove(s)
+		}
 		s.mu.Lock()
 		s.closed = true
 		close(s.ch)
 		s.mu.Unlock()
+		if s.onCancel != nil {
+			s.onCancel()
+		}
 	})
-}
-
-// deliver enqueues one message, dropping it if the queue is full (slow
-// subscriber) or the subscription was cancelled.
-func (s *Subscription) deliver(m Message) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return
-	}
-	select {
-	case s.ch <- m:
-	default: // slow subscriber: drop, as real gossip would
-	}
 }
 
 // Subscribe registers for a topic with the given queue depth. Messages that
@@ -171,7 +165,7 @@ func (n *Network) Publish(topic, from string, payload any) error {
 		delay := n.latency + c.delay
 		if delay == 0 {
 			for _, s := range targets {
-				s.deliver(msg)
+				s.Deliver(msg)
 			}
 			continue
 		}
@@ -179,7 +173,7 @@ func (n *Network) Publish(topic, from string, payload any) error {
 		time.AfterFunc(delay, func() {
 			defer n.wg.Done()
 			for _, s := range targets {
-				s.deliver(msg)
+				s.Deliver(msg)
 			}
 		})
 	}

@@ -170,7 +170,7 @@ const respCacheLimit = 512
 // instead of recomputing or double-delivering a fresh one.
 type Server struct {
 	sp   *ServiceProvider
-	net  *network.Network
+	net  network.Bus
 	sub  *network.Subscription
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -184,7 +184,7 @@ type Server struct {
 }
 
 // Serve starts answering requests until Stop is called.
-func Serve(sp *ServiceProvider, net *network.Network) *Server {
+func Serve(sp *ServiceProvider, net network.Bus) *Server {
 	s := &Server{
 		sp:    sp,
 		net:   net,
@@ -274,24 +274,30 @@ func (s *Server) loop() {
 
 // handle executes one request against the local SP.
 func (s *Server) handle(req *Request) *Response {
+	return Execute(s.sp, req)
+}
+
+// Execute answers one parsed request against an SP. It is shared by the
+// topic-based Server and the wire transport's request/response path.
+func Execute(sp *ServiceProvider, req *Request) *Response {
 	resp := &Response{ID: req.ID}
 	switch req.Kind {
 	case reqHistorical:
-		res, err := s.sp.HistoricalQuery(req.Index, req.Key, req.Lo, req.Hi)
+		res, err := sp.HistoricalQuery(req.Index, req.Key, req.Lo, req.Hi)
 		if err != nil {
 			resp.Err = err.Error()
 			return resp
 		}
 		resp.Body = res.Marshal()
 	case reqKeyword:
-		res, err := s.sp.KeywordQuery(req.Index, req.Keywords)
+		res, err := sp.KeywordQuery(req.Index, req.Keywords)
 		if err != nil {
 			resp.Err = err.Error()
 			return resp
 		}
 		resp.Body = res.Marshal()
 	case reqState:
-		res, err := s.sp.StateQuery(req.Key)
+		res, err := sp.StateQuery(req.Key)
 		if err != nil {
 			resp.Err = err.Error()
 			return resp
@@ -301,6 +307,38 @@ func (s *Server) handle(req *Request) *Response {
 		resp.Err = fmt.Sprintf("unknown request kind %d", req.Kind)
 	}
 	return resp
+}
+
+// HandleRaw answers one serialized request against an SP, returning the
+// serialized response — the entry point a transport RPC route mounts. A
+// malformed request yields a serialized error response rather than silence,
+// since the RPC path (unlike gossip) always owes its caller an answer.
+func HandleRaw(sp *ServiceProvider, raw []byte) []byte {
+	req, err := UnmarshalRequest(raw)
+	if err != nil {
+		return (&Response{Err: err.Error()}).Marshal()
+	}
+	return Execute(sp, req).Marshal()
+}
+
+// RPC-facing request constructors: the wire transport's request/response
+// path carries the same serialized Request/Response pair as the topic
+// protocol, so a remote client builds requests with these and parses the
+// answer with UnmarshalResponse plus the kind-specific result parser.
+
+// NewStateRequest builds a direct state-read request.
+func NewStateRequest(key string) *Request {
+	return &Request{Kind: reqState, Key: key}
+}
+
+// NewHistoricalRequest builds a historical range-query request.
+func NewHistoricalRequest(index, key string, lo, hi uint64) *Request {
+	return &Request{Kind: reqHistorical, Index: index, Key: key, Lo: lo, Hi: hi}
+}
+
+// NewKeywordRequest builds a conjunctive keyword-query request.
+func NewKeywordRequest(index string, keywords []string) *Request {
+	return &Request{Kind: reqKeyword, Index: index, Keywords: keywords}
 }
 
 // RetryPolicy bounds and paces the Requester's attempts. Each attempt gets
@@ -354,7 +392,7 @@ func (r *Requester) backoff(attempt int) time.Duration {
 //
 // Requester is safe for concurrent use.
 type Requester struct {
-	net     *network.Network
+	net     network.Bus
 	sub     *network.Subscription
 	nextID  atomic.Uint64
 	timeout time.Duration
@@ -370,13 +408,13 @@ type Requester struct {
 
 // NewRequester creates a query client over the fabric with the default
 // retry policy and the given per-attempt timeout.
-func NewRequester(net *network.Network, timeout time.Duration) *Requester {
+func NewRequester(net network.Bus, timeout time.Duration) *Requester {
 	return NewRequesterWithPolicy(net, timeout, DefaultRetryPolicy())
 }
 
 // NewRequesterWithPolicy creates a query client with an explicit retry
 // policy (MaxAttempts: 1 restores single-shot behavior).
-func NewRequesterWithPolicy(net *network.Network, timeout time.Duration, policy RetryPolicy) *Requester {
+func NewRequesterWithPolicy(net network.Bus, timeout time.Duration, policy RetryPolicy) *Requester {
 	r := &Requester{
 		net:     net,
 		sub:     net.Subscribe(TopicResults, 64),

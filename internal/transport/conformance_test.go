@@ -1,0 +1,164 @@
+package transport_test
+
+import (
+	"testing"
+	"time"
+
+	"dcert/internal/network"
+	"dcert/internal/transport"
+	"dcert/internal/transport/conformance"
+)
+
+// TestConformanceInProcess runs the shared bus contract against the
+// in-process fabric — the reference implementation.
+func TestConformanceInProcess(t *testing.T) {
+	conformance.Run(t, func(t *testing.T) conformance.Fabric {
+		n := network.New()
+		t.Cleanup(n.Close)
+		return conformance.InProcess{Network: n}
+	})
+}
+
+// tcpFabric routes the bus API through a real socket: an in-process hub
+// behind a transport.Server, driven via a transport.Client. Fault controls
+// act on the hub — exactly where they act in a deployed node — so fault
+// rules constrain traffic that genuinely crossed TCP.
+type tcpFabric struct {
+	*transport.Client
+	hub *network.Network
+}
+
+func (f *tcpFabric) SetFaults(plan *network.FaultPlan)          { f.hub.SetFaults(plan) }
+func (f *tcpFabric) Partition(topic string)                     { f.hub.Partition(topic) }
+func (f *tcpFabric) Heal(topic string)                          { f.hub.Heal(topic) }
+func (f *tcpFabric) FaultTally(topic string) network.FaultTally { return f.hub.FaultTally(topic) }
+
+// Sync flushes a round trip: the server processes connection frames in
+// order, so once any RPC issued after our publishes has been answered, the
+// hub (and its fault tally) has seen every one of them.
+func (f *tcpFabric) Sync() { f.Client.Request("conformance/ping", nil) }
+
+func newTCPFabric(t *testing.T) conformance.Fabric {
+	t.Helper()
+	hub := network.New()
+	srv, err := transport.Serve(hub, transport.ServerConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	srv.Handle("conformance/ping", func([]byte) ([]byte, error) { return nil, nil })
+	client, err := transport.Dial(srv.Addr(), transport.ClientConfig{Name: "conformance"})
+	if err != nil {
+		srv.Close()
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		srv.Close()
+		hub.Close()
+	})
+	return &tcpFabric{Client: client, hub: hub}
+}
+
+// TestConformanceTCP runs the identical contract over real sockets.
+func TestConformanceTCP(t *testing.T) {
+	conformance.Run(t, newTCPFabric)
+}
+
+// TestTCPCrossClientDelivery is wire-specific glue the shared suite cannot
+// express with one connection: a publish from one client must reach a
+// subscriber on a different connection of the same server.
+func TestTCPCrossClientDelivery(t *testing.T) {
+	hub := network.New()
+	defer hub.Close()
+	srv, err := transport.Serve(hub, transport.ServerConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer srv.Close()
+
+	sender, err := transport.Dial(srv.Addr(), transport.ClientConfig{Name: "sender"})
+	if err != nil {
+		t.Fatalf("dial sender: %v", err)
+	}
+	defer sender.Close()
+	receiver, err := transport.Dial(srv.Addr(), transport.ClientConfig{Name: "receiver"})
+	if err != nil {
+		t.Fatalf("dial receiver: %v", err)
+	}
+	defer receiver.Close()
+
+	sub := receiver.Subscribe("cross", 8)
+	defer sub.Cancel()
+	if err := sender.Publish("cross", "sender", []byte("hello")); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	select {
+	case m := <-sub.C:
+		if string(m.Payload.([]byte)) != "hello" || m.From != "sender" {
+			t.Fatalf("got %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cross-connection delivery never arrived")
+	}
+
+	// An in-process hub subscriber sees remote publishes too: the wire and
+	// the node's internal services share one fabric.
+	local := hub.Subscribe("cross2", 8)
+	defer local.Cancel()
+	if err := sender.Publish("cross2", "sender", []byte("to-hub")); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	select {
+	case m := <-local.C:
+		if string(m.Payload.([]byte)) != "to-hub" {
+			t.Fatalf("got %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hub-side delivery never arrived")
+	}
+}
+
+// TestTCPServerStats exercises the wire's slow-consumer and RPC accounting.
+func TestTCPServerStats(t *testing.T) {
+	hub := network.New()
+	defer hub.Close()
+	srv, err := transport.Serve(hub, transport.ServerConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer srv.Close()
+	srv.Handle("echo", func(b []byte) ([]byte, error) { return b, nil })
+
+	client, err := transport.Dial(srv.Addr(), transport.ClientConfig{Name: "stats"})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+
+	sub := client.Subscribe("stats-topic", 4)
+	defer sub.Cancel()
+	for i := 0; i < 10; i++ {
+		if err := client.Publish("stats-topic", "p", []byte{byte(i)}); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+	}
+	if _, err := client.Request("echo", []byte("x")); err != nil {
+		t.Fatalf("echo: %v", err)
+	}
+
+	st := srv.Stats()
+	if st.Accepted != 1 || st.ActiveConns != 1 || st.ActiveSubs != 1 {
+		t.Fatalf("stats = %+v, want 1 conn with 1 sub", st)
+	}
+	if st.Publishes != 10 || st.Requests != 1 {
+		t.Fatalf("stats = %+v, want 10 publishes and 1 request", st)
+	}
+	// The per-subscription forwarder runs asynchronously off the hub queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().MessagesSent == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats = %+v, want topic messages sent", srv.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"dcert/internal/chain"
+	"dcert/internal/chash"
+	"dcert/internal/core"
+)
+
+// Payload codec: the in-process bus carries typed payloads (*chain.Block,
+// *core.CertBundle, ...); the wire carries bytes. This codec maps the topic
+// vocabulary of the DCert fabric onto tagged canonical encodings, so a
+// remote subscriber receives exactly the same Go value an in-process one
+// would — and, for certificates, byte-identical Marshal output, since the
+// codec round-trips through each type's own canonical wire format.
+
+// Payload errors.
+var (
+	// ErrPayloadType is returned when publishing a type the wire cannot carry.
+	ErrPayloadType = errors.New("transport: unsupported payload type")
+	// ErrPayloadCorrupt is returned when a tagged payload fails to decode.
+	ErrPayloadCorrupt = errors.New("transport: corrupt payload")
+)
+
+// Payload tags.
+const (
+	payloadBytes       byte = 0 // raw []byte (query protocol)
+	payloadBlock       byte = 1 // *chain.Block
+	payloadCertificate byte = 2 // *core.Certificate
+	payloadCertBundle  byte = 3 // *core.CertBundle
+	payloadCertRequest byte = 4 // *core.CertRequest
+)
+
+// encodePayload renders a topic payload as a tagged byte string.
+func encodePayload(p any) ([]byte, error) {
+	switch v := p.(type) {
+	case []byte:
+		return append([]byte{payloadBytes}, v...), nil
+	case *chain.Block:
+		return append([]byte{payloadBlock}, v.Marshal()...), nil
+	case *core.Certificate:
+		return append([]byte{payloadCertificate}, v.Marshal()...), nil
+	case *core.CertBundle:
+		if v.Header == nil || v.Cert == nil {
+			return nil, fmt.Errorf("%w: incomplete cert bundle", ErrPayloadType)
+		}
+		hdr := v.Header.Marshal()
+		cert := v.Cert.Marshal()
+		e := chash.NewEncoder(16 + len(hdr) + len(cert))
+		e.PutByte(payloadCertBundle)
+		e.PutBytes(hdr)
+		e.PutBytes(cert)
+		return e.Bytes(), nil
+	case *core.CertRequest:
+		e := chash.NewEncoder(24 + len(v.From))
+		e.PutByte(payloadCertRequest)
+		e.PutString(v.From)
+		e.PutUint64(v.Height)
+		return e.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrPayloadType, p)
+	}
+}
+
+// decodePayload parses a tagged byte string back into its typed payload.
+func decodePayload(raw []byte) (any, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrPayloadCorrupt)
+	}
+	tag, rest := raw[0], raw[1:]
+	switch tag {
+	case payloadBytes:
+		out := make([]byte, len(rest))
+		copy(out, rest)
+		return out, nil
+	case payloadBlock:
+		blk, err := chain.UnmarshalBlock(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%w: block: %v", ErrPayloadCorrupt, err)
+		}
+		return blk, nil
+	case payloadCertificate:
+		cert, err := core.UnmarshalCertificate(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%w: certificate: %v", ErrPayloadCorrupt, err)
+		}
+		return cert, nil
+	case payloadCertBundle:
+		d := chash.NewDecoder(rest)
+		hdrRaw, err := d.ReadBytes()
+		if err != nil {
+			return nil, fmt.Errorf("%w: bundle: %v", ErrPayloadCorrupt, err)
+		}
+		certRaw, err := d.ReadBytes()
+		if err != nil {
+			return nil, fmt.Errorf("%w: bundle: %v", ErrPayloadCorrupt, err)
+		}
+		if err := d.Finish(); err != nil {
+			return nil, fmt.Errorf("%w: bundle: %v", ErrPayloadCorrupt, err)
+		}
+		hdr, err := chain.UnmarshalHeader(hdrRaw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bundle header: %v", ErrPayloadCorrupt, err)
+		}
+		cert, err := core.UnmarshalCertificate(certRaw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bundle certificate: %v", ErrPayloadCorrupt, err)
+		}
+		return &core.CertBundle{Header: hdr, Cert: cert}, nil
+	case payloadCertRequest:
+		d := chash.NewDecoder(rest)
+		var req core.CertRequest
+		var err error
+		if req.From, err = d.ReadString(); err != nil {
+			return nil, fmt.Errorf("%w: cert request: %v", ErrPayloadCorrupt, err)
+		}
+		if req.Height, err = d.Uint64(); err != nil {
+			return nil, fmt.Errorf("%w: cert request: %v", ErrPayloadCorrupt, err)
+		}
+		if err := d.Finish(); err != nil {
+			return nil, fmt.Errorf("%w: cert request: %v", ErrPayloadCorrupt, err)
+		}
+		return &req, nil
+	default:
+		return nil, fmt.Errorf("%w: tag %d", ErrPayloadCorrupt, tag)
+	}
+}

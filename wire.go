@@ -1,0 +1,315 @@
+package dcert
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dcert/internal/chain"
+	"dcert/internal/chash"
+	"dcert/internal/core"
+	"dcert/internal/network"
+	"dcert/internal/query"
+	"dcert/internal/transport"
+)
+
+// The wire plane: a deployment can expose its fabric and services over real
+// sockets (internal/transport), so the node and its clients run as separate
+// OS processes. The wire carries two shapes of traffic:
+//
+//   - the topic streams (blocks, certificate bundles, catch-up requests,
+//     query request/response topics) — a remote WireClient is a network.Bus,
+//     so CertFollower and QueryRequester run over it unchanged;
+//   - an RPC route table for the pull-style interactions a fresh client
+//     needs before it can follow streams: node identity (trust anchors),
+//     the latest certificate bundle, raw blocks, and one-shot queries.
+
+// Bus is the topic API shared by the in-process fabric and the wire
+// transport (see internal/network.Bus).
+type Bus = network.Bus
+
+// Wire transport types (package internal/transport).
+type (
+	// WireServer serves a deployment's fabric and RPC routes over TCP.
+	WireServer = transport.Server
+	// WireServerConfig tunes a wire server (address, TLS, queue depths).
+	WireServerConfig = transport.ServerConfig
+	// WireClient is a remote connection to a WireServer; it implements Bus.
+	WireClient = transport.Client
+	// WireClientConfig tunes a wire client (identity, TLS, timeouts).
+	WireClientConfig = transport.ClientConfig
+	// WireServerStats counts a wire server's activity.
+	WireServerStats = transport.ServerStats
+)
+
+// Wire RPC routes served by ServeWire.
+const (
+	// WireRouteInfo returns the node's trust anchors (authority key, enclave
+	// measurement, consensus parameters).
+	WireRouteInfo = "dcert/info"
+	// WireRouteCertLatest returns the primary issuer's newest cert bundle.
+	WireRouteCertLatest = "dcert/cert-latest"
+	// WireRouteBlock returns one raw block by height.
+	WireRouteBlock = "dcert/block"
+	// WireRouteQuery answers one serialized query request.
+	WireRouteQuery = "dcert/query"
+)
+
+// tipHeight requests the best block on WireRouteBlock.
+const tipHeight = math.MaxUint64
+
+// NodeInfo is a node's self-description served on WireRouteInfo: everything
+// a superlight client needs to start validating. The demo commands accept
+// these anchors from the node itself (trust-on-first-use); a production
+// client pins the authority key and measurement out of band, exactly as the
+// paper's clients pin the IAS key.
+type NodeInfo struct {
+	// AuthorityKey is the attestation authority's public key.
+	AuthorityKey *chash.PublicKey
+	// Measurement is the CI's enclave program measurement.
+	Measurement Hash
+	// Params are the chain's consensus parameters.
+	Params ConsensusParams
+}
+
+// encodeNodeInfo renders a NodeInfo for the wire.
+func encodeNodeInfo(info *NodeInfo) []byte {
+	der := info.AuthorityKey.Marshal()
+	e := chash.NewEncoder(64 + len(der))
+	e.PutBytes(der)
+	e.PutHash(info.Measurement)
+	e.PutUint32(info.Params.Difficulty)
+	return e.Bytes()
+}
+
+// decodeNodeInfo parses a WireRouteInfo response.
+func decodeNodeInfo(raw []byte) (*NodeInfo, error) {
+	d := chash.NewDecoder(raw)
+	der, err := d.ReadBytes()
+	if err != nil {
+		return nil, fmt.Errorf("dcert: node info: %w", err)
+	}
+	var info NodeInfo
+	if info.AuthorityKey, err = chash.ParsePublicKey(der); err != nil {
+		return nil, fmt.Errorf("dcert: node info: %w", err)
+	}
+	if info.Measurement, err = d.ReadHash(); err != nil {
+		return nil, fmt.Errorf("dcert: node info: %w", err)
+	}
+	if info.Params.Difficulty, err = d.Uint32(); err != nil {
+		return nil, fmt.Errorf("dcert: node info: %w", err)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("dcert: node info: %w", err)
+	}
+	return &info, nil
+}
+
+// encodeBundle renders a cert bundle for the wire ("" means none yet).
+func encodeBundle(b *CertBundle) []byte {
+	if b == nil {
+		return nil
+	}
+	hdr := b.Header.Marshal()
+	cert := b.Cert.Marshal()
+	e := chash.NewEncoder(16 + len(hdr) + len(cert))
+	e.PutBytes(hdr)
+	e.PutBytes(cert)
+	return e.Bytes()
+}
+
+// decodeBundle parses a WireRouteCertLatest response (nil when the node has
+// not certified anything yet).
+func decodeBundle(raw []byte) (*CertBundle, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	d := chash.NewDecoder(raw)
+	hdrRaw, err := d.ReadBytes()
+	if err != nil {
+		return nil, fmt.Errorf("dcert: cert bundle: %w", err)
+	}
+	certRaw, err := d.ReadBytes()
+	if err != nil {
+		return nil, fmt.Errorf("dcert: cert bundle: %w", err)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("dcert: cert bundle: %w", err)
+	}
+	hdr, err := chain.UnmarshalHeader(hdrRaw)
+	if err != nil {
+		return nil, fmt.Errorf("dcert: cert bundle header: %w", err)
+	}
+	cert, err := core.UnmarshalCertificate(certRaw)
+	if err != nil {
+		return nil, fmt.Errorf("dcert: cert bundle certificate: %w", err)
+	}
+	return &CertBundle{Header: hdr, Cert: cert}, nil
+}
+
+// ServeWire exposes the deployment over TCP: topic traffic bridges onto the
+// deployment's fabric (so fault plans and instrumentation apply to socket
+// traffic), and the standard RPC routes are mounted. The deployment keeps
+// running in-process exactly as before; the wire is an additional door.
+func (d *Deployment) ServeWire(cfg WireServerConfig) (*WireServer, error) {
+	srv, err := transport.Serve(d.net, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("dcert: serve wire: %w", err)
+	}
+	srv.Handle(WireRouteInfo, func([]byte) ([]byte, error) {
+		return encodeNodeInfo(&NodeInfo{
+			AuthorityKey: d.authority.PublicKey(),
+			Measurement:  d.issuer.Measurement(),
+			Params:       d.params,
+		}), nil
+	})
+	srv.Handle(WireRouteCertLatest, func([]byte) ([]byte, error) {
+		return encodeBundle(d.issuer.LatestBundle()), nil
+	})
+	srv.Handle(WireRouteBlock, func(body []byte) ([]byte, error) {
+		dec := chash.NewDecoder(body)
+		height, err := dec.Uint64()
+		if err != nil {
+			return nil, fmt.Errorf("block request: %w", err)
+		}
+		if err := dec.Finish(); err != nil {
+			return nil, fmt.Errorf("block request: %w", err)
+		}
+		store := d.miner.Store()
+		if height == tipHeight {
+			height = store.BestHeight()
+		}
+		blk, err := store.AtHeight(height)
+		if err != nil {
+			return nil, err
+		}
+		return blk.Marshal(), nil
+	})
+	srv.Handle(WireRouteQuery, func(body []byte) ([]byte, error) {
+		return query.HandleRaw(d.sp, body), nil
+	})
+	return srv, nil
+}
+
+// DialWire connects to a node's wire endpoint.
+func DialWire(addr string, cfg WireClientConfig) (*WireClient, error) {
+	return transport.Dial(addr, cfg)
+}
+
+// RequestNodeInfo fetches a remote node's trust anchors.
+func RequestNodeInfo(c *WireClient) (*NodeInfo, error) {
+	raw, err := c.Request(WireRouteInfo, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeNodeInfo(raw)
+}
+
+// NewRemoteSuperlightClient builds a superlight client from a remote node's
+// self-reported trust anchors (trust-on-first-use; pin anchors out of band
+// for adversarial settings and construct the client directly).
+func NewRemoteSuperlightClient(c *WireClient) (*SuperlightClient, error) {
+	info, err := RequestNodeInfo(c)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSuperlightClient(info.AuthorityKey, info.Measurement, info.Params), nil
+}
+
+// RequestLatestBundle fetches the node's newest certificate bundle (nil
+// before the first certification).
+func RequestLatestBundle(c *WireClient) (*CertBundle, error) {
+	raw, err := c.Request(WireRouteCertLatest, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBundle(raw)
+}
+
+// RequestBlock fetches one raw block by height.
+func RequestBlock(c *WireClient, height uint64) (*Block, error) {
+	e := chash.NewEncoder(8)
+	e.PutUint64(height)
+	raw, err := c.Request(WireRouteBlock, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return chain.UnmarshalBlock(raw)
+}
+
+// RequestTipBlock fetches the node's best block.
+func RequestTipBlock(c *WireClient) (*Block, error) {
+	return RequestBlock(c, tipHeight)
+}
+
+// RequestQuery runs one verifiable query over the wire's RPC path and
+// returns the serialized response (use the query result parsers plus the
+// Verify* helpers against a certified header).
+func RequestQuery(c *WireClient, req *QueryRequest) (*QueryResponse, error) {
+	raw, err := c.Request(WireRouteQuery, req.Marshal())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := query.UnmarshalResponse(raw)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("dcert: remote query: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// FollowCertsOver starts a certificate follower on an arbitrary bus — in
+// particular a WireClient, putting a remote client on the node's live
+// certificate stream with stall-triggered catch-up over the same socket.
+func FollowCertsOver(bus Bus, client *SuperlightClient, cfg FollowerConfig) *CertFollower {
+	return core.FollowCerts(client, bus, cfg)
+}
+
+// NewQueryRequesterOver creates a networked query requester on an arbitrary
+// bus — in particular a WireClient, for the streaming (topic) query path.
+// The node must be running ServeQueries.
+func NewQueryRequesterOver(bus Bus, timeout time.Duration) *QueryRequester {
+	return query.NewRequester(bus, timeout)
+}
+
+// Serialized query protocol types (package internal/query), used with the
+// wire's RPC query route.
+type (
+	// QueryRequest is a serializable query.
+	QueryRequest = query.Request
+	// QueryResponse is a serialized query answer.
+	QueryResponse = query.Response
+)
+
+// NewRemoteStateRequest builds a direct state-read query.
+func NewRemoteStateRequest(key string) *QueryRequest {
+	return query.NewStateRequest(key)
+}
+
+// NewRemoteHistoricalRequest builds a historical range query.
+func NewRemoteHistoricalRequest(index, key string, lo, hi uint64) *QueryRequest {
+	return query.NewHistoricalRequest(index, key, lo, hi)
+}
+
+// NewRemoteKeywordRequest builds a conjunctive keyword query.
+func NewRemoteKeywordRequest(index string, keywords []string) *QueryRequest {
+	return query.NewKeywordRequest(index, keywords)
+}
+
+// ParseStateResult parses a state-read response body for VerifyState.
+func ParseStateResult(resp *QueryResponse) (*StateResult, error) {
+	return query.UnmarshalStateResult(resp.Body)
+}
+
+// ParseHistoricalResult parses a historical response body for
+// VerifyHistorical.
+func ParseHistoricalResult(resp *QueryResponse) (*HistoricalResult, error) {
+	return query.UnmarshalHistoricalResult(resp.Body)
+}
+
+// ParseKeywordResult parses a keyword response body for VerifyKeyword.
+func ParseKeywordResult(resp *QueryResponse) (*KeywordResult, error) {
+	return query.UnmarshalKeywordResult(resp.Body)
+}
