@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 chaos chaos-obs chaos-disk chaos-net fmt vet bench bench-state bench-json clean
+.PHONY: all tier1 tier2 chaos chaos-obs chaos-disk chaos-net fmt vet bench bench-state bench-serving bench-json fuzz-wire clean
 
 all: tier1
 
@@ -65,10 +65,24 @@ bench-state:
 	$(GO) test -run='^$$' -bench='Sum|Node|Leaf|Multiproof|TrieCommit|MHTBuild' \
 		-benchmem ./internal/chash/ ./internal/smt/ ./internal/mpt/ ./internal/mht/
 
+# Serving-plane experiment: 10k verifying clients against the sharded SP
+# fleet vs the single SP, plus the singleflight-burst and batched-multiproof
+# micro-measurements. Compare against EXPERIMENTS.md / BENCH_serving.json.
+bench-serving:
+	$(GO) run ./cmd/dcert-bench -exp serving -json BENCH_serving.json
+
 # Throughput experiments with machine-readable artifacts.
 bench-json:
 	$(GO) run ./cmd/dcert-bench -exp pipeline -json BENCH_pipeline.json
 	$(GO) run ./cmd/dcert-bench -exp state -json BENCH_state.json
+	$(GO) run ./cmd/dcert-bench -exp serving -json BENCH_serving.json
+
+# Fuzz smoke for the query wire codecs (the batch multiproof decoder and the
+# canonical request round trip). Short budgets: CI regression surface, not a
+# campaign — run with a longer -fuzztime locally when touching the codecs.
+fuzz-wire:
+	$(GO) test -run='^$$' -fuzz='^FuzzUnmarshalBatchStateResult$$' -fuzztime=10s ./internal/query/
+	$(GO) test -run='^$$' -fuzz='^FuzzUnmarshalRequest$$' -fuzztime=10s ./internal/query/
 
 clean:
 	$(GO) clean ./...

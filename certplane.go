@@ -178,7 +178,7 @@ func (p *CertPlane) MineAndBroadcast(n int) (*Block, error) {
 			return nil, err
 		}
 	}
-	if err := p.d.sp.ProcessBlock(blk); err != nil {
+	if err := p.d.feedServing(blk); err != nil {
 		return nil, fmt.Errorf("dcert: SP: %w", err)
 	}
 	if err := p.d.net.Publish(TopicBlocks, "miner", blk); err != nil {
@@ -293,7 +293,7 @@ func (p *CertPlane) MineAndBroadcastPipelined(n int) (*Block, error) {
 			return nil, fmt.Errorf("dcert: %s submit: %w", s.name, err)
 		}
 	}
-	if err := p.d.sp.ProcessBlock(blk); err != nil {
+	if err := p.d.feedServing(blk); err != nil {
 		return nil, fmt.Errorf("dcert: SP: %w", err)
 	}
 	if err := p.d.net.Publish(TopicBlocks, "miner", blk); err != nil {

@@ -253,12 +253,21 @@ type (
 	StateResult = query.StateResult
 	// TxResult is a proven transaction inclusion.
 	TxResult = query.TxResult
+	// BatchStateResult is a proven multi-key state read: one merged
+	// multiproof covers every key.
+	BatchStateResult = query.BatchStateResult
 )
 
 // VerifyState validates a direct state read against a certified header's
 // state root.
 func VerifyState(hdr *Header, res *StateResult) error {
 	return query.VerifyState(hdr, res)
+}
+
+// VerifyBatchState validates a multi-key state read against a certified
+// header's state root: every key replays through the one merged witness.
+func VerifyBatchState(hdr *Header, res *BatchStateResult) error {
+	return query.VerifyBatchState(hdr, res)
 }
 
 // VerifyTx validates a transaction-inclusion claim against a certified

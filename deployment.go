@@ -2,6 +2,7 @@ package dcert
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"dcert/internal/attest"
 	"dcert/internal/consensus"
@@ -10,6 +11,7 @@ import (
 	"dcert/internal/node"
 	"dcert/internal/obs"
 	"dcert/internal/query"
+	"dcert/internal/query/fleet"
 	"dcert/internal/statedb"
 	"dcert/internal/storage"
 	"dcert/internal/vm"
@@ -78,6 +80,11 @@ type Deployment struct {
 	net       *network.Network
 	gen       *workload.Generator
 	params    consensus.Params
+
+	// Sharded serving plane, empty until StartFleet. Atomic because the
+	// wire transport's RPC goroutines consult it per request.
+	fleet          atomic.Pointer[fleet.Fleet]
+	indexFactories []func() (*AuthIndex, error)
 
 	// Instrumentation plane, nil until EnableObservability.
 	reg    *obs.Registry
@@ -267,7 +274,7 @@ func (d *Deployment) MineAndCertify(n int) (*Block, *Certificate, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("dcert: certify: %w", err)
 	}
-	if err := d.sp.ProcessBlock(blk); err != nil {
+	if err := d.feedServing(blk); err != nil {
 		return nil, nil, fmt.Errorf("dcert: SP: %w", err)
 	}
 	if err := d.net.Publish(TopicBlocks, "miner", blk); err != nil {
@@ -300,6 +307,9 @@ func (d *Deployment) AddIndex(mk func() (*AuthIndex, error)) (*AuthIndex, error)
 	if err := d.issuer.Program().RegisterUpdater(ciIdx); err != nil {
 		return nil, err
 	}
+	// Record the factory so StartFleet can equip each replica with its own
+	// copy of the index.
+	d.indexFactories = append(d.indexFactories, mk)
 	return spIdx, nil
 }
 
@@ -324,7 +334,7 @@ func (d *Deployment) MineAndCertifyHierarchical(n int, indexNames []string) (*Bl
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("dcert: certify: %w", err)
 	}
-	if err := d.sp.ProcessBlock(blk); err != nil {
+	if err := d.feedServing(blk); err != nil {
 		return nil, nil, nil, fmt.Errorf("dcert: SP: %w", err)
 	}
 	if err := d.persistBlock(blk, blkCert); err != nil {

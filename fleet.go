@@ -1,0 +1,117 @@
+package dcert
+
+import (
+	"fmt"
+
+	"dcert/internal/query"
+	"dcert/internal/query/fleet"
+)
+
+// The sharded serving plane (internal/query/fleet): a deployment can scale
+// its query side from one SP to N replicas behind a consistent-hash router.
+// Every replica ingests every mined block (the write path is one block per
+// round), while queries split by key affinity — each replica owns a stable
+// ~1/N slice of the key space and serves it from a warm byte-bounded cache
+// with singleflight collapsing. Both serving doors route through the fleet
+// once it is started: the in-process fabric (ServeFleetQueries) and the TCP
+// wire transport (ServeWire's query route).
+
+// Fleet types (package internal/query/fleet).
+type (
+	// QueryFleet is the sharded serving plane.
+	QueryFleet = fleet.Fleet
+	// QueryReplica is one serving shard.
+	QueryReplica = fleet.Replica
+	// FleetRouter is the rendezvous-hashing consistent router.
+	FleetRouter = fleet.Router
+	// FleetBusServer serves the query topic across the fleet's replicas.
+	FleetBusServer = fleet.BusServer
+)
+
+// StartFleet builds an n-replica serving fleet for the deployment. Each
+// replica is an independent full node with its own copy of every index
+// registered via AddIndex, caught up to the current chain tip. Once the
+// fleet exists, every subsequently mined block feeds it, and ServeWire's
+// query route answers through it. Replicas join the deployment's metrics
+// registry if observability is enabled.
+//
+// Call StartFleet after registering indexes; added indexes do not propagate
+// to an already-started fleet.
+func (d *Deployment) StartFleet(n int) (*QueryFleet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dcert: fleet needs at least 1 replica")
+	}
+	if d.fleet.Load() != nil {
+		return nil, fmt.Errorf("dcert: fleet already started")
+	}
+	f := fleet.New()
+	store := d.miner.Store()
+	best := store.BestHeight()
+	for i := 0; i < n; i++ {
+		node, err := d.cfg.newFullNode(d.params)
+		if err != nil {
+			return nil, fmt.Errorf("dcert: fleet replica %d: %w", i, err)
+		}
+		sp := query.NewServiceProvider(node)
+		for _, mk := range d.indexFactories {
+			ix, err := mk()
+			if err != nil {
+				return nil, fmt.Errorf("dcert: fleet replica %d index: %w", i, err)
+			}
+			if err := sp.AddIndex(ix); err != nil {
+				return nil, fmt.Errorf("dcert: fleet replica %d index: %w", i, err)
+			}
+		}
+		// Catch the replica up to the tip before it starts serving.
+		for h := uint64(1); h <= best; h++ {
+			blk, err := store.AtHeight(h)
+			if err != nil {
+				return nil, fmt.Errorf("dcert: fleet replica %d catch-up: %w", i, err)
+			}
+			if err := sp.ProcessBlock(blk); err != nil {
+				return nil, fmt.Errorf("dcert: fleet replica %d catch-up height %d: %w", i, h, err)
+			}
+		}
+		rep, err := fleet.NewReplica(fmt.Sprintf("sp-%d", i), sp, query.DefaultCacheBytes)
+		if err != nil {
+			return nil, fmt.Errorf("dcert: fleet replica %d: %w", i, err)
+		}
+		if err := f.Add(rep); err != nil {
+			return nil, err
+		}
+	}
+	if d.reg != nil {
+		f.Instrument(d.reg)
+	}
+	d.fleet.Store(f)
+	return f, nil
+}
+
+// Fleet returns the serving fleet (nil until StartFleet).
+func (d *Deployment) Fleet() *QueryFleet {
+	return d.fleet.Load()
+}
+
+// ServeFleetQueries runs the fleet behind the deployment's fabric query
+// topic with the given per-replica worker count (0 = default). It replaces
+// the single-SP query server — do not run both on one fabric, or every
+// request is answered twice.
+func (d *Deployment) ServeFleetQueries(workers int) (*FleetBusServer, error) {
+	f := d.fleet.Load()
+	if f == nil {
+		return nil, fmt.Errorf("dcert: no fleet (call StartFleet first)")
+	}
+	return f.ServeBus(d.net, workers), nil
+}
+
+// feedServing advances the serving plane one block: the primary SP always,
+// plus every fleet replica once a fleet is started.
+func (d *Deployment) feedServing(blk *Block) error {
+	if err := d.sp.ProcessBlock(blk); err != nil {
+		return err
+	}
+	if f := d.fleet.Load(); f != nil {
+		return f.ProcessBlock(blk)
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package dcert_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dcert"
+	"dcert/internal/query"
+	"dcert/internal/workload"
+)
+
+// probeWrittenKey finds a state key the KV workload has written.
+func probeWrittenKey(t *testing.T, dep *dcert.Deployment) string {
+	t.Helper()
+	for i := 0; i < 100; i++ {
+		probe := fmt.Sprintf("ct/%s/kv/user-key-%d", workload.ContractName(workload.KVStore, 0), i)
+		res, err := dep.SP().StateQuery(probe)
+		if err != nil {
+			t.Fatalf("StateQuery: %v", err)
+		}
+		if res.Value != nil {
+			return probe
+		}
+	}
+	t.Skip("no written key found")
+	return ""
+}
+
+// TestFleetDeploymentEndToEnd drives the full sharded serving plane: a
+// deployment with an index mines certified blocks, starts a 4-replica
+// fleet mid-chain (exercising replica catch-up), and serves verified
+// queries through both doors — the fabric topic path and the TCP wire RPC.
+func TestFleetDeploymentEndToEnd(t *testing.T) {
+	dep, err := dcert.NewDeployment(dcert.Config{
+		Workload:   dcert.KVStore,
+		Contracts:  4,
+		Accounts:   8,
+		Difficulty: 2,
+		Seed:       11,
+		KeySpace:   30,
+	})
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+	if _, err := dep.AddIndex(func() (*dcert.AuthIndex, error) {
+		return dcert.NewHistoricalIndex("hist", "ct/")
+	}); err != nil {
+		t.Fatalf("AddIndex: %v", err)
+	}
+	client := dep.NewSuperlightClient()
+
+	// Mine a few blocks BEFORE the fleet exists: replicas must catch up.
+	var lastBlk *dcert.Block
+	var lastCert *dcert.Certificate
+	for i := 0; i < 3; i++ {
+		blk, cert, err := dep.MineAndCertify(10)
+		if err != nil {
+			t.Fatalf("MineAndCertify: %v", err)
+		}
+		lastBlk, lastCert = blk, cert
+	}
+
+	f, err := dep.StartFleet(4)
+	if err != nil {
+		t.Fatalf("StartFleet: %v", err)
+	}
+	if dep.Fleet() != f || f.Size() != 4 {
+		t.Fatalf("fleet not registered: size %d", f.Size())
+	}
+	if _, err := dep.StartFleet(2); err == nil {
+		t.Fatal("second StartFleet must fail")
+	}
+
+	// Mine more AFTER: every replica must follow the chain.
+	for i := 0; i < 3; i++ {
+		blk, cert, err := dep.MineAndCertify(10)
+		if err != nil {
+			t.Fatalf("MineAndCertify: %v", err)
+		}
+		lastBlk, lastCert = blk, cert
+	}
+	if err := client.ValidateChain(&lastBlk.Header, lastCert); err != nil {
+		t.Fatalf("ValidateChain: %v", err)
+	}
+	key := probeWrittenKey(t, dep)
+
+	// Door 1: the fabric topic path, served by the fleet's bus server.
+	bsrv, err := dep.ServeFleetQueries(2)
+	if err != nil {
+		t.Fatalf("ServeFleetQueries: %v", err)
+	}
+	defer bsrv.Stop()
+	req := dcert.NewQueryRequesterOver(dep.Net(), 2*time.Second)
+	defer req.Close()
+	sr, err := req.State(key)
+	if err != nil {
+		t.Fatalf("State over fabric: %v", err)
+	}
+	if err := dcert.VerifyState(&lastBlk.Header, sr); err != nil {
+		t.Fatalf("VerifyState (fabric door): %v", err)
+	}
+
+	// Door 2: the TCP wire RPC path.
+	srv, err := dep.ServeWire(dcert.WireServerConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("ServeWire: %v", err)
+	}
+	defer srv.Close()
+	wc, err := dcert.DialWire(srv.Addr(), dcert.WireClientConfig{Name: "fleet-client"})
+	if err != nil {
+		t.Fatalf("DialWire: %v", err)
+	}
+	defer wc.Close()
+
+	resp, err := dcert.RequestQuery(wc, query.NewStateRequest(key))
+	if err != nil {
+		t.Fatalf("RequestQuery: %v", err)
+	}
+	wsr, err := query.UnmarshalStateResult(resp.Body)
+	if err != nil {
+		t.Fatalf("UnmarshalStateResult: %v", err)
+	}
+	if err := dcert.VerifyState(&lastBlk.Header, wsr); err != nil {
+		t.Fatalf("VerifyState (wire door): %v", err)
+	}
+
+	// Batched multi-key read over the wire: one merged multiproof.
+	bresp, err := dcert.RequestQuery(wc, query.NewBatchStateRequest([]string{key, "never-written"}))
+	if err != nil {
+		t.Fatalf("RequestQuery(batch): %v", err)
+	}
+	br, err := query.UnmarshalBatchStateResult(bresp.Body)
+	if err != nil {
+		t.Fatalf("UnmarshalBatchStateResult: %v", err)
+	}
+	if err := dcert.VerifyBatchState(&lastBlk.Header, br); err != nil {
+		t.Fatalf("VerifyBatchState (wire door): %v", err)
+	}
+
+	// The fleet actually answered: per-replica counters sum to the traffic.
+	var served uint64
+	for _, name := range f.Router().Members() {
+		rep, err := f.Replica(name)
+		if err != nil {
+			t.Fatalf("Replica: %v", err)
+		}
+		h, m, c, _ := rep.Cache().Stats()
+		served += h + m + c
+	}
+	if served == 0 {
+		t.Fatal("no replica served any request — queries bypassed the fleet")
+	}
+}

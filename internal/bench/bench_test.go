@@ -283,3 +283,37 @@ func TestRunVendors(t *testing.T) {
 	}
 	res.Table().Fprint(&strings.Builder{})
 }
+
+func TestRunServingGatesHold(t *testing.T) {
+	res, err := RunServing(Small)
+	if err != nil {
+		t.Fatalf("RunServing: %v", err)
+	}
+	// Every response the load generator received must have verified.
+	wantVerified := res.Clients*2 + res.BurstWaiters + 8*(res.BatchK+1)
+	if res.Verified != wantVerified {
+		t.Fatalf("verified %d responses, want %d", res.Verified, wantVerified)
+	}
+	// Gate 1: the 4-replica fleet must model ≥3× the single SP.
+	if res.Replicas != 4 {
+		t.Fatalf("expected 4 replicas, got %d", res.Replicas)
+	}
+	if res.SpeedupModeled < 3 {
+		t.Fatalf("modeled fleet speedup %.2fx < 3x (single %.0f rps, fleet %.0f rps)",
+			res.SpeedupModeled, res.SingleSP.ModeledRPS, res.Fleet.ModeledRPS)
+	}
+	// Gate 2: a 100-way cold-key burst collapses to one computation.
+	if res.BurstComputations != 1 {
+		t.Fatalf("burst ran %d computations, want 1 (collapsed %d of %d)",
+			res.BurstComputations, res.BurstCollapsed, res.BurstWaiters)
+	}
+	// Gate 3: one K-key multiproof beats K sequential round trips by ≥2x.
+	if res.BatchRatio >= 0.5 {
+		t.Fatalf("batch ratio %.3f ≥ 0.5 (batch %.2f ms vs sequential %.2f ms)",
+			res.BatchRatio, res.BatchMS, res.SequentialMS)
+	}
+	if res.Fleet.HitRate <= 0.5 {
+		t.Fatalf("fleet hit rate %.3f implausibly low for a hot-key working set", res.Fleet.HitRate)
+	}
+	res.Table().Fprint(&strings.Builder{})
+}

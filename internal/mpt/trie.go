@@ -61,16 +61,25 @@ func (t *Trie) resolve(n node) (node, error) {
 // Get returns the value stored at key, or nil if absent. A nil error with a
 // nil value is a proven absence (in partial tries, reaching it required only
 // witnessed nodes).
+//
+// On a fully in-memory trie Get never mutates the structure (write-backs
+// happen only when a hashNode reference was resolved from a witness), so any
+// number of Gets may run concurrently against an unchanging in-memory trie —
+// the serving plane's snapshot reads rely on this.
 func (t *Trie) Get(key []byte) ([]byte, error) {
 	val, newRoot, err := t.get(t.root, keyToNibbles(key))
 	if err != nil {
 		return nil, err
 	}
-	t.root = newRoot
+	if newRoot != t.root {
+		t.root = newRoot
+	}
 	return val, nil
 }
 
-// get returns the value and the (possibly resolved) subtree root.
+// get returns the value and the (possibly resolved) subtree root. Resolved
+// children are written back into their parents only when resolution actually
+// replaced a hashNode, keeping lookups on in-memory tries mutation-free.
 func (t *Trie) get(n node, path []byte) ([]byte, node, error) {
 	if n == nil {
 		return nil, nil, nil
@@ -91,14 +100,18 @@ func (t *Trie) get(n node, path []byte) ([]byte, node, error) {
 			return nil, n, nil
 		}
 		val, child, err := t.get(v.child, path[len(v.path):])
-		v.child = child
+		if child != v.child {
+			v.child = child
+		}
 		return val, n, err
 	case *branchNode:
 		if len(path) == 0 {
 			return v.value, n, nil
 		}
 		val, child, err := t.get(v.children[path[0]], path[1:])
-		v.children[path[0]] = child
+		if child != v.children[path[0]] {
+			v.children[path[0]] = child
+		}
 		return val, n, err
 	default:
 		return nil, n, fmt.Errorf("mpt: get on unexpected node %T", n)

@@ -1,0 +1,260 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"dcert/internal/chain"
+	"dcert/internal/network"
+	"dcert/internal/obs"
+	"dcert/internal/query"
+)
+
+// Fleet is the sharded serving plane: N replicas behind a rendezvous
+// router. Every replica ingests every block (full fan-out on the write
+// path, which is one block per round), while the read path — millions of
+// client queries — splits by key affinity so each replica serves a stable
+// slice of the key space from a warm cache.
+//
+// Fleet is safe for concurrent use on the read path (Handle/HandleRaw);
+// ProcessBlock and membership changes must be serialized by the caller, as
+// with a single SP.
+type Fleet struct {
+	router *Router
+
+	mu       sync.RWMutex
+	replicas map[string]*Replica
+	order    []string // insertion order, for deterministic iteration
+}
+
+// New creates an empty fleet.
+func New() *Fleet {
+	return &Fleet{
+		router:   NewRouter(),
+		replicas: make(map[string]*Replica),
+	}
+}
+
+// Add registers a replica with the router.
+func (f *Fleet) Add(r *Replica) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.replicas[r.Name()]; ok {
+		return fmt.Errorf("fleet: replica %q already added", r.Name())
+	}
+	f.replicas[r.Name()] = r
+	f.order = append(f.order, r.Name())
+	f.router.Add(r.Name())
+	return nil
+}
+
+// Remove detaches a replica; its ~1/N of the key space redistributes over
+// the remaining members.
+func (f *Fleet) Remove(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.replicas, name)
+	for i, n := range f.order {
+		if n == name {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+	f.router.Remove(name)
+}
+
+// Size reports the replica count.
+func (f *Fleet) Size() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.replicas)
+}
+
+// Replica returns a member by name.
+func (f *Fleet) Replica(name string) (*Replica, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	r, ok := f.replicas[name]
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown replica %q", name)
+	}
+	return r, nil
+}
+
+// Router exposes the fleet's consistent-hash router.
+func (f *Fleet) Router() *Router {
+	return f.router
+}
+
+// ProcessBlock feeds the block to every replica, in membership order.
+func (f *Fleet) ProcessBlock(blk *chain.Block) error {
+	f.mu.RLock()
+	names := append([]string(nil), f.order...)
+	f.mu.RUnlock()
+	for _, name := range names {
+		r, err := f.Replica(name)
+		if err != nil {
+			continue // removed mid-iteration
+		}
+		if err := r.ProcessBlock(blk); err != nil {
+			return fmt.Errorf("fleet: replica %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// route picks the replica owning a request's affinity key.
+func (f *Fleet) route(req *query.Request) (*Replica, error) {
+	name, err := f.router.Route(req.AffinityKey())
+	if err != nil {
+		return nil, err
+	}
+	return f.Replica(name)
+}
+
+// Handle answers one parsed request on the owning replica.
+func (f *Fleet) Handle(req *query.Request) *query.Response {
+	r, err := f.route(req)
+	if err != nil {
+		return &query.Response{ID: req.ID, Err: err.Error()}
+	}
+	return r.Execute(req)
+}
+
+// HandleRaw answers one serialized request — the entry point a transport
+// RPC route mounts. Safe for concurrent calls (the wire transport runs each
+// RPC in its own goroutine).
+func (f *Fleet) HandleRaw(raw []byte) []byte {
+	req, err := query.UnmarshalRequest(raw)
+	if err != nil {
+		return (&query.Response{Err: err.Error()}).Marshal()
+	}
+	return f.Handle(req).Marshal()
+}
+
+// Instrument attaches every replica to a metrics registry.
+func (f *Fleet) Instrument(reg *obs.Registry) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, name := range f.order {
+		f.replicas[name].Instrument(reg)
+	}
+}
+
+// DefaultQueueDepth bounds each replica's bus-serving queue.
+const DefaultQueueDepth = 256
+
+// DefaultWorkers is the per-replica worker count for bus serving.
+const DefaultWorkers = 4
+
+// BusServer runs a fleet behind the network's query topic, replacing the
+// single-SP query.Server: a dispatcher routes each request to the owning
+// replica's bounded queue, and per-replica workers execute and respond.
+type BusServer struct {
+	fleet *Fleet
+	bus   network.Bus
+	sub   *network.Subscription
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	queues map[string]chan busTask
+}
+
+type busTask struct {
+	req *query.Request
+}
+
+// ServeBus starts serving the query topic across the fleet's replicas with
+// the given per-replica worker count (0 = DefaultWorkers).
+func (f *Fleet) ServeBus(bus network.Bus, workers int) *BusServer {
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	s := &BusServer{
+		fleet:  f,
+		bus:    bus,
+		sub:    bus.Subscribe(query.TopicQueries, 64),
+		done:   make(chan struct{}),
+		queues: make(map[string]chan busTask),
+	}
+	s.wg.Add(1)
+	go s.dispatch(workers)
+	return s
+}
+
+// Stop drains the server: the dispatcher exits, queues close, and workers
+// finish their in-flight requests.
+func (s *BusServer) Stop() {
+	s.sub.Cancel()
+	close(s.done)
+	s.wg.Wait()
+}
+
+// queueFor returns (creating on first use) the owning replica's queue.
+func (s *BusServer) queueFor(name string, workers int) chan busTask {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[name]
+	if !ok {
+		q = make(chan busTask, DefaultQueueDepth)
+		s.queues[name] = q
+		for i := 0; i < workers; i++ {
+			s.wg.Add(1)
+			go s.worker(name, q)
+		}
+	}
+	return q
+}
+
+func (s *BusServer) dispatch(workers int) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		for _, q := range s.queues {
+			close(q)
+		}
+		s.mu.Unlock()
+	}()
+	for {
+		select {
+		case <-s.done:
+			return
+		case m, ok := <-s.sub.C:
+			if !ok {
+				return
+			}
+			raw, isBytes := m.Payload.([]byte)
+			if !isBytes {
+				continue
+			}
+			req, err := query.UnmarshalRequest(raw)
+			if err != nil {
+				continue // gossip path: malformed traffic is dropped
+			}
+			name, err := s.fleet.router.Route(req.AffinityKey())
+			if err != nil {
+				continue // empty fleet
+			}
+			if r, err := s.fleet.Replica(name); err == nil {
+				r.met.queueDepth.Add(1)
+				s.queueFor(name, workers) <- busTask{req: req}
+			}
+		}
+	}
+}
+
+func (s *BusServer) worker(name string, q chan busTask) {
+	defer s.wg.Done()
+	for task := range q {
+		r, err := s.fleet.Replica(name)
+		if err != nil {
+			continue
+		}
+		r.met.queueDepth.Add(-1)
+		respRaw := r.Execute(task.req).Marshal()
+		if err := s.bus.Publish(query.TopicResults, name, respRaw); err != nil {
+			return // fabric shut down
+		}
+	}
+}

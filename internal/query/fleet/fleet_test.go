@@ -1,0 +1,352 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dcert/internal/chain"
+	"dcert/internal/consensus"
+	"dcert/internal/network"
+	"dcert/internal/node"
+	"dcert/internal/query"
+	"dcert/internal/vm"
+	"dcert/internal/workload"
+)
+
+// frig wires a miner and an N-replica fleet over the same genesis.
+type frig struct {
+	miner *node.Miner
+	fleet *Fleet
+	gen   *workload.Generator
+}
+
+func mkNode(t *testing.T, contracts int, params consensus.Params) *node.FullNode {
+	t.Helper()
+	reg := vm.NewRegistry()
+	if err := workload.Register(reg, workload.KVStore, contracts); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	genesis, db, err := node.BuildGenesis(node.GenesisConfig{Time: 1, Consensus: params})
+	if err != nil {
+		t.Fatalf("BuildGenesis: %v", err)
+	}
+	n, err := node.NewFullNode(genesis, db, reg, params)
+	if err != nil {
+		t.Fatalf("NewFullNode: %v", err)
+	}
+	return n
+}
+
+func newFleetRig(t *testing.T, replicas int) *frig {
+	t.Helper()
+	accounts, err := workload.NewAccounts(5)
+	if err != nil {
+		t.Fatalf("NewAccounts: %v", err)
+	}
+	cfg := workload.Config{Kind: workload.KVStore, Contracts: 2, Seed: 3, KeySpace: 20, CPUSortSize: 16, IOOpsPerTx: 2}
+	params := consensus.Params{Difficulty: 2}
+	gen, err := workload.NewGenerator(cfg, accounts)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	f := New()
+	for i := 0; i < replicas; i++ {
+		sp := query.NewServiceProvider(mkNode(t, cfg.Contracts, params))
+		ix, err := query.NewHistoricalIndex("hist", "ct/")
+		if err != nil {
+			t.Fatalf("NewHistoricalIndex: %v", err)
+		}
+		if err := sp.AddIndex(ix); err != nil {
+			t.Fatalf("AddIndex: %v", err)
+		}
+		rep, err := NewReplica(fmt.Sprintf("sp-%d", i), sp, 1<<20)
+		if err != nil {
+			t.Fatalf("NewReplica: %v", err)
+		}
+		if err := f.Add(rep); err != nil {
+			t.Fatalf("fleet.Add: %v", err)
+		}
+	}
+	return &frig{
+		miner: node.NewMiner(mkNode(t, cfg.Contracts, params)),
+		fleet: f,
+		gen:   gen,
+	}
+}
+
+// advance mines n blocks and feeds them to every replica.
+func (r *frig) advance(t *testing.T, n, txs int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		batch, err := r.gen.Block(txs)
+		if err != nil {
+			t.Fatalf("gen.Block: %v", err)
+		}
+		blk, err := r.miner.Propose(batch)
+		if err != nil {
+			t.Fatalf("Propose: %v", err)
+		}
+		if err := r.fleet.ProcessBlock(blk); err != nil {
+			t.Fatalf("fleet.ProcessBlock: %v", err)
+		}
+	}
+}
+
+// writtenKey probes the KV key space for a key present in state.
+func writtenKey(t *testing.T, f *Fleet) string {
+	t.Helper()
+	rep, err := f.Replica("sp-0")
+	if err != nil {
+		t.Fatalf("Replica: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		probe := "ct/" + workload.ContractName(workload.KVStore, 0) + "/kv/user-key-" + fmt.Sprintf("%d", i)
+		resp := rep.Execute(query.NewStateRequest(probe))
+		if resp.Err != "" {
+			t.Fatalf("Execute: %s", resp.Err)
+		}
+		res, err := query.UnmarshalStateResult(resp.Body)
+		if err != nil {
+			t.Fatalf("UnmarshalStateResult: %v", err)
+		}
+		if res.Value != nil {
+			return probe
+		}
+	}
+	t.Skip("no written key found")
+	return ""
+}
+
+func TestFleetServesVerifiedQueries(t *testing.T) {
+	r := newFleetRig(t, 4)
+	r.advance(t, 5, 12)
+	key := writtenKey(t, r.fleet)
+
+	// Every replica serves the same certified tip.
+	tip := mustTip(t, r.fleet, "sp-0")
+	for i := 1; i < 4; i++ {
+		other := mustTip(t, r.fleet, fmt.Sprintf("sp-%d", i))
+		if other.StateRoot != tip.StateRoot {
+			t.Fatalf("replica sp-%d diverged from sp-0", i)
+		}
+	}
+
+	// Single-key via the fleet front door.
+	resp := r.fleet.Handle(query.NewStateRequest(key))
+	if resp.Err != "" {
+		t.Fatalf("Handle: %s", resp.Err)
+	}
+	sr, err := query.UnmarshalStateResult(resp.Body)
+	if err != nil {
+		t.Fatalf("UnmarshalStateResult: %v", err)
+	}
+	if err := query.VerifyState(tip, sr); err != nil {
+		t.Fatalf("VerifyState: %v", err)
+	}
+
+	// Batch via the fleet front door: one replica, one merged proof.
+	resp = r.fleet.Handle(query.NewBatchStateRequest([]string{key, "never-written"}))
+	if resp.Err != "" {
+		t.Fatalf("Handle(batch): %s", resp.Err)
+	}
+	br, err := query.UnmarshalBatchStateResult(resp.Body)
+	if err != nil {
+		t.Fatalf("UnmarshalBatchStateResult: %v", err)
+	}
+	if err := query.VerifyBatchState(tip, br); err != nil {
+		t.Fatalf("VerifyBatchState: %v", err)
+	}
+
+	// Historical query routes and verifies too.
+	resp = r.fleet.Handle(query.NewHistoricalRequest("hist", key, 0, 100))
+	if resp.Err != "" {
+		t.Fatalf("Handle(historical): %s", resp.Err)
+	}
+	if _, err := query.UnmarshalHistoricalResult(resp.Body); err != nil {
+		t.Fatalf("UnmarshalHistoricalResult: %v", err)
+	}
+}
+
+func mustTip(t *testing.T, f *Fleet, name string) *chain.Header {
+	t.Helper()
+	rep, err := f.Replica(name)
+	if err != nil {
+		t.Fatalf("Replica: %v", err)
+	}
+	return rep.Tip()
+}
+
+func TestFleetAffinityPinsKeysToReplicas(t *testing.T) {
+	r := newFleetRig(t, 4)
+	r.advance(t, 3, 10)
+	key := writtenKey(t, r.fleet)
+
+	req := query.NewStateRequest(key)
+	owner, err := r.fleet.Router().Route(req.AffinityKey())
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	// Baseline stats (the key probe above already touched sp-0's cache).
+	baseHits := map[string]uint64{}
+	baseMisses := map[string]uint64{}
+	for _, name := range r.fleet.Router().Members() {
+		rep, err := r.fleet.Replica(name)
+		if err != nil {
+			t.Fatalf("Replica: %v", err)
+		}
+		h, m, _, _ := rep.Cache().Stats()
+		baseHits[name], baseMisses[name] = h, m
+	}
+	// Repeated queries for the same key hit only the owner's cache.
+	for i := 0; i < 10; i++ {
+		if resp := r.fleet.Handle(query.NewStateRequest(key)); resp.Err != "" {
+			t.Fatalf("Handle: %s", resp.Err)
+		}
+	}
+	for _, name := range r.fleet.Router().Members() {
+		rep, err := r.fleet.Replica(name)
+		if err != nil {
+			t.Fatalf("Replica: %v", err)
+		}
+		h, m, _, _ := rep.Cache().Stats()
+		dh, dm := h-baseHits[name], m-baseMisses[name]
+		if name == owner {
+			if dm > 1 || dh+dm != 10 {
+				t.Fatalf("owner cache delta: %d misses, %d hits; want ≤1, 10 total", dm, dh)
+			}
+		} else if dh+dm != 0 {
+			t.Fatalf("non-owner %s touched: %d hits, %d misses", name, dh, dm)
+		}
+	}
+}
+
+func TestFleetServesBusTraffic(t *testing.T) {
+	r := newFleetRig(t, 3)
+	r.advance(t, 4, 12)
+	key := writtenKey(t, r.fleet)
+
+	bus := network.New()
+	defer bus.Close()
+	srv := r.fleet.ServeBus(bus, 2)
+	defer srv.Stop()
+	req := query.NewRequester(bus, 2*time.Second)
+	defer req.Close()
+
+	tip := mustTip(t, r.fleet, "sp-0")
+	sr, err := req.State(key)
+	if err != nil {
+		t.Fatalf("State over bus: %v", err)
+	}
+	if err := query.VerifyState(tip, sr); err != nil {
+		t.Fatalf("VerifyState: %v", err)
+	}
+	br, err := req.BatchState([]string{key, "never-written"})
+	if err != nil {
+		t.Fatalf("BatchState over bus: %v", err)
+	}
+	if err := query.VerifyBatchState(tip, br); err != nil {
+		t.Fatalf("VerifyBatchState: %v", err)
+	}
+	if _, err := req.Historical("ghost-index", key, 0, 1); !errors.Is(err, query.ErrRemote) {
+		t.Fatalf("want ErrRemote for unknown index, got %v", err)
+	}
+}
+
+// The RCU snapshot discipline: queries hammer the fleet from many
+// goroutines while blocks land. Run with -race. Every response must verify
+// against one of the certified headers observed during the run.
+func TestFleetQueriesConcurrentWithBlockIngest(t *testing.T) {
+	r := newFleetRig(t, 2)
+	r.advance(t, 2, 10)
+	key := writtenKey(t, r.fleet)
+
+	var hmu sync.Mutex
+	headers := []*chain.Header{mustTip(t, r.fleet, "sp-0"), mustTip(t, r.fleet, "sp-1")}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp := r.fleet.Handle(query.NewStateRequest(key))
+				if resp.Err != "" {
+					t.Errorf("Handle: %s", resp.Err)
+					return
+				}
+				sr, err := query.UnmarshalStateResult(resp.Body)
+				if err != nil {
+					t.Errorf("UnmarshalStateResult: %v", err)
+					return
+				}
+				hmu.Lock()
+				hs := append([]*chain.Header(nil), headers...)
+				hmu.Unlock()
+				ok := false
+				for _, h := range hs {
+					if query.VerifyState(h, sr) == nil {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Error("response verified against no observed header")
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < 6; i++ {
+		batch, err := r.gen.Block(10)
+		if err != nil {
+			t.Fatalf("gen.Block: %v", err)
+		}
+		blk, err := r.miner.Propose(batch)
+		if err != nil {
+			t.Fatalf("Propose: %v", err)
+		}
+		// Record the header before ingest: a replica may serve the new
+		// height the instant its ProcessBlock returns, while its siblings
+		// are still applying.
+		hmu.Lock()
+		headers = append(headers, &blk.Header)
+		hmu.Unlock()
+		if err := r.fleet.ProcessBlock(blk); err != nil {
+			t.Fatalf("ProcessBlock: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFleetRemoveRedistributes(t *testing.T) {
+	r := newFleetRig(t, 3)
+	r.advance(t, 3, 10)
+	key := writtenKey(t, r.fleet)
+
+	r.fleet.Remove("sp-1")
+	if r.fleet.Size() != 2 {
+		t.Fatalf("Size = %d after remove", r.fleet.Size())
+	}
+	resp := r.fleet.Handle(query.NewStateRequest(key))
+	if resp.Err != "" {
+		t.Fatalf("Handle after remove: %s", resp.Err)
+	}
+	owner, err := r.fleet.Router().Route(query.NewStateRequest(key).AffinityKey())
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if owner == "sp-1" {
+		t.Fatal("removed replica still owns keys")
+	}
+}

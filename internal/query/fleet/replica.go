@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"dcert/internal/chain"
+	"dcert/internal/obs"
+	"dcert/internal/query"
+)
+
+// Replica is one serving shard: a full SP (own state replica and indexes)
+// behind an epoch guard and a byte-bounded singleflight response cache.
+//
+// The epoch discipline makes reads lock-free against an immutable
+// per-height view: readers acquire the current epoch with an atomic
+// load + refcount (no mutex on the read path), and the writer advances
+// heights by first swapping in a new *unready* epoch — parking new readers
+// on its ready channel — then draining the old epoch's readers to zero,
+// mutating the SP, re-sealing it (pre-hashing every lazily-hashed
+// structure so reads stay pure), and finally opening the new epoch. At any
+// instant every active reader sees one fully-hashed height; a query never
+// observes a half-applied block.
+type Replica struct {
+	name  string
+	cur   atomic.Pointer[epoch]
+	cache *query.ResponseCache
+	met   replicaObs
+}
+
+// epoch guards one sealed height of the replica's SP.
+type epoch struct {
+	sp      *query.ServiceProvider
+	readers atomic.Int64
+	ready   chan struct{} // closed once the height is sealed
+}
+
+// NewReplica wraps a freshly built SP as a serving shard. The SP must not
+// be used directly afterwards — all access goes through the replica.
+func NewReplica(name string, sp *query.ServiceProvider, cacheBytes int) (*Replica, error) {
+	if err := sp.Seal(); err != nil {
+		return nil, err
+	}
+	ep := &epoch{sp: sp, ready: make(chan struct{})}
+	close(ep.ready)
+	r := &Replica{name: name, cache: query.NewResponseCache(cacheBytes)}
+	r.cur.Store(ep)
+	return r, nil
+}
+
+// Name returns the replica's router identity.
+func (r *Replica) Name() string {
+	return r.name
+}
+
+// Cache exposes the replica's response cache.
+func (r *Replica) Cache() *query.ResponseCache {
+	return r.cache
+}
+
+// acquire pins the current epoch for reading, waiting out an in-progress
+// height advance. The increment-then-recheck loop closes the race with a
+// concurrent writer swap: if the epoch pointer moved between load and
+// increment, the refcount touched a retired epoch (harmless) and the reader
+// retries on the fresh one.
+func (r *Replica) acquire() *epoch {
+	for {
+		ep := r.cur.Load()
+		ep.readers.Add(1)
+		if r.cur.Load() == ep {
+			<-ep.ready
+			return ep
+		}
+		ep.readers.Add(-1)
+	}
+}
+
+// ProcessBlock advances the replica one height. Callers must serialize
+// ProcessBlock (one block pipeline per deployment); queries may run
+// concurrently throughout.
+func (r *Replica) ProcessBlock(blk *chain.Block) error {
+	old := r.cur.Load()
+	next := &epoch{sp: old.sp, ready: make(chan struct{})}
+	r.cur.Store(next)
+	// Drain readers still inside the old epoch before mutating under them.
+	for old.readers.Load() > 0 {
+		runtime.Gosched()
+	}
+	err := old.sp.ProcessBlock(blk)
+	if err == nil {
+		err = old.sp.Seal()
+		// Cached responses prove against the pre-block roots; flush them so
+		// the new height never replays a stale proof.
+		r.cache.Reset()
+	}
+	close(next.ready) // even on error: serve the last good height
+	return err
+}
+
+// Execute answers one request against the replica's current sealed height,
+// collapsing concurrent identical questions (by semantic key, ignoring the
+// per-attempt request ID) onto one computation.
+func (r *Replica) Execute(req *query.Request) *query.Response {
+	r.met.served.Inc()
+	raw, _ := r.cache.Do(req.SemanticKey(), func() []byte {
+		ep := r.acquire()
+		defer ep.readers.Add(-1)
+		canon := *req
+		canon.ID = 0
+		return query.Execute(ep.sp, &canon).Marshal()
+	})
+	resp, err := query.UnmarshalResponse(raw)
+	if err != nil {
+		// Impossible for bytes we just marshaled; fail loudly per request.
+		return &query.Response{ID: req.ID, Err: "fleet: corrupt cached response"}
+	}
+	resp.ID = req.ID
+	return resp
+}
+
+// Tip returns the replica's current chain tip header, pinned to a sealed
+// epoch.
+func (r *Replica) Tip() *chain.Header {
+	ep := r.acquire()
+	defer ep.readers.Add(-1)
+	hdr := ep.sp.Node().Tip().Header
+	return &hdr
+}
+
+// replicaObs bundles per-replica serving instruments.
+type replicaObs struct {
+	served     *obs.Counter
+	queueDepth *obs.Gauge
+}
+
+// Instrument attaches the replica (and its cache) to a metrics registry.
+func (r *Replica) Instrument(reg *obs.Registry) {
+	r.met = replicaObs{
+		served: reg.Counter("dcert_fleet_requests_total",
+			"Requests served by this replica.", obs.L("replica", r.name)),
+		queueDepth: reg.Gauge("dcert_fleet_queue_depth",
+			"Requests waiting in this replica's serving queue.", obs.L("replica", r.name)),
+	}
+	r.cache.Instrument(reg, r.name)
+}

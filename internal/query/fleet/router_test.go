@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func routeAll(t *testing.T, r *Router, keys []string) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		m, err := r.Route(k)
+		if err != nil {
+			t.Fatalf("Route(%q): %v", k, err)
+		}
+		out[k] = m
+	}
+	return out
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("acct/%06d", i)
+	}
+	return keys
+}
+
+func TestRouterStableAssignment(t *testing.T) {
+	r := NewRouter("sp-0", "sp-1", "sp-2", "sp-3")
+	keys := testKeys(5000)
+	first := routeAll(t, r, keys)
+	second := routeAll(t, r, keys)
+	for k := range first {
+		if first[k] != second[k] {
+			t.Fatalf("key %q flapped: %s then %s", k, first[k], second[k])
+		}
+	}
+	// Load splits roughly evenly: each of 4 members owns 25% ± 10 points.
+	counts := map[string]int{}
+	for _, m := range first {
+		counts[m]++
+	}
+	for m, c := range counts {
+		frac := float64(c) / float64(len(keys))
+		if frac < 0.15 || frac > 0.35 {
+			t.Fatalf("member %s owns %.1f%% of keys", m, 100*frac)
+		}
+	}
+}
+
+func TestRouterRemoveMovesOnlyOwnedKeys(t *testing.T) {
+	r := NewRouter("sp-0", "sp-1", "sp-2", "sp-3")
+	keys := testKeys(5000)
+	before := routeAll(t, r, keys)
+
+	r.Remove("sp-2")
+	after := routeAll(t, r, keys)
+	moved := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			moved++
+			if before[k] != "sp-2" {
+				t.Fatalf("key %q moved from surviving member %s", k, before[k])
+			}
+		}
+		if after[k] == "sp-2" {
+			t.Fatalf("key %q routed to removed member", k)
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("removal moved %.1f%% of keys, want ~25%%", 100*frac)
+	}
+
+	// Re-adding restores the original assignment exactly: rendezvous hashing
+	// is a pure function of (member set, key).
+	r.Add("sp-2")
+	restored := routeAll(t, r, keys)
+	for _, k := range keys {
+		if restored[k] != before[k] {
+			t.Fatalf("key %q not restored after re-add", k)
+		}
+	}
+}
+
+func TestRouterAddMovesAboutOneOverN(t *testing.T) {
+	r := NewRouter("sp-0", "sp-1", "sp-2", "sp-3")
+	keys := testKeys(5000)
+	before := routeAll(t, r, keys)
+
+	r.Add("sp-4")
+	after := routeAll(t, r, keys)
+	moved := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			moved++
+			if after[k] != "sp-4" {
+				t.Fatalf("key %q moved to %s, not the new member", k, after[k])
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.10 || frac > 0.30 {
+		t.Fatalf("adding a 5th member moved %.1f%% of keys, want ~20%%", 100*frac)
+	}
+}
+
+func TestRouterEmpty(t *testing.T) {
+	r := NewRouter()
+	if _, err := r.Route("k"); err == nil {
+		t.Fatal("want error routing with no members")
+	}
+	r.Add("only")
+	m, err := r.Route("k")
+	if err != nil || m != "only" {
+		t.Fatalf("Route = %q, %v", m, err)
+	}
+	r.Remove("only")
+	r.Remove("only") // idempotent
+	if _, err := r.Route("k"); err == nil {
+		t.Fatal("want error after removing the last member")
+	}
+}
+
+// Concurrent Route against membership churn: run with -race. Every
+// successful Route must return a member that was valid at some point.
+func TestRouterConcurrentRouteAndRebalance(t *testing.T) {
+	r := NewRouter("sp-0", "sp-1")
+	valid := map[string]bool{"sp-0": true, "sp-1": true, "sp-2": true, "sp-3": true}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			keys := testKeys(200)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, k := range keys {
+					m, err := r.Route(k)
+					if err != nil {
+						t.Errorf("Route: %v", err)
+						return
+					}
+					if !valid[m] {
+						t.Errorf("Route returned unknown member %q", m)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		r.Add("sp-2")
+		r.Add("sp-3")
+		r.Remove("sp-2")
+		r.Remove("sp-3")
+	}
+	close(stop)
+	wg.Wait()
+}

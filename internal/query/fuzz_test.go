@@ -1,0 +1,72 @@
+package query
+
+import (
+	"bytes"
+	"testing"
+
+	"dcert/internal/mpt"
+)
+
+// Fuzz targets for the batch wire codec: the decoders face untrusted network
+// bytes, so they must never panic, and anything they accept must re-encode
+// canonically (decode → marshal → decode is a fixed point).
+
+func FuzzUnmarshalBatchStateResult(f *testing.F) {
+	// Seed with a genuine encoding so the fuzzer starts near the format.
+	tr := mpt.New()
+	for _, kv := range [][2]string{{"a", "1"}, {"ab", "2"}, {"abc", "3"}} {
+		if err := tr.Put([]byte(kv[0]), []byte(kv[1])); err != nil {
+			f.Fatalf("Put: %v", err)
+		}
+	}
+	if _, err := tr.Hash(); err != nil {
+		f.Fatalf("Hash: %v", err)
+	}
+	w, err := tr.WitnessForKeys([][]byte{[]byte("a"), []byte("abc"), []byte("zz")})
+	if err != nil {
+		f.Fatalf("WitnessForKeys: %v", err)
+	}
+	seed := &BatchStateResult{
+		Keys:   []string{"a", "abc", "zz"},
+		Values: [][]byte{[]byte("1"), []byte("3"), nil},
+		Proof:  w,
+	}
+	f.Add(seed.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		res, err := UnmarshalBatchStateResult(raw)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		re := res.Marshal()
+		again, err := UnmarshalBatchStateResult(re)
+		if err != nil {
+			t.Fatalf("accepted bytes failed to re-decode: %v", err)
+		}
+		if !bytes.Equal(re, again.Marshal()) {
+			t.Fatal("re-encoding is not a fixed point")
+		}
+	})
+}
+
+func FuzzUnmarshalRequest(f *testing.F) {
+	f.Add((&Request{ID: 1, Kind: reqState, Key: "k"}).Marshal())
+	f.Add(NewBatchStateRequest([]string{"a", "b"}).Marshal())
+	f.Add((&Request{ID: 2, Kind: reqKeyword, Index: "kw", Keywords: []string{"x"}}).Marshal())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		req, err := UnmarshalRequest(raw)
+		if err != nil {
+			return
+		}
+		re := req.Marshal()
+		if !bytes.Equal(raw, re) {
+			// The codec is canonical: any accepted encoding is exactly what
+			// Marshal would produce.
+			t.Fatalf("accepted non-canonical request encoding:\n in  %x\n out %x", raw, re)
+		}
+	})
+}

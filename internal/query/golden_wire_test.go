@@ -1,0 +1,160 @@
+package query
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"testing"
+
+	"dcert/internal/chash"
+	"dcert/internal/mbtree"
+	"dcert/internal/mpt"
+)
+
+// Golden byte-pins for the single-key query wire formats. The fixtures are
+// fully synthetic and deterministic (fixed keys and values, no random
+// signatures), so the digests pin the exact encodings across refactors: a
+// batch-capable codec must keep every single-key message byte-identical to
+// these vectors, or deployed SPs and clients stop interoperating.
+
+// goldenTrie builds a small deterministic MPT.
+func goldenTrie(t *testing.T) *mpt.Trie {
+	t.Helper()
+	tr := mpt.New()
+	for i := 0; i < 16; i++ {
+		k := fmt.Sprintf("acct/%02d", i)
+		v := fmt.Sprintf("balance-%04d", i*37)
+		if err := tr.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if _, err := tr.Hash(); err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	return tr
+}
+
+// goldenLower builds a small deterministic Merkle B⁺-tree.
+func goldenLower(t *testing.T) *mbtree.Tree {
+	t.Helper()
+	tree, err := mbtree.New(LowerOrder)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for v := uint64(1); v <= 9; v++ {
+		if err := tree.Insert(v, []byte(fmt.Sprintf("val-%d", v*11))); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if _, err := tree.Root(); err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	return tree
+}
+
+// goldenVectors renders every pinned message and returns name → hex digest of
+// the encoded bytes.
+func goldenVectors(t *testing.T) map[string]string {
+	t.Helper()
+	tr := goldenTrie(t)
+	lower := goldenLower(t)
+
+	upperW, err := tr.Prove([]byte("acct/07"))
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	lowerW, err := lower.WitnessForRange(2, 7)
+	if err != nil {
+		t.Fatalf("WitnessForRange: %v", err)
+	}
+	entries, err := lower.Range(2, 7)
+	if err != nil {
+		t.Fatalf("Range: %v", err)
+	}
+
+	vectors := map[string][]byte{
+		"request_state": (&Request{ID: 7, Kind: reqState, Key: "acct/07"}).Marshal(),
+		"request_historical": (&Request{
+			ID: 8, Kind: reqHistorical, Index: "hist", Key: "acct/07", Lo: 2, Hi: 7,
+		}).Marshal(),
+		"request_keyword": (&Request{
+			ID: 9, Kind: reqKeyword, Index: "kw", Keywords: []string{"bank", "deposit_check"},
+		}).Marshal(),
+		"response_ok":  (&Response{ID: 7, Body: []byte("payload")}).Marshal(),
+		"response_err": (&Response{ID: 7, Err: "unknown index"}).Marshal(),
+		"state_result": (&StateResult{
+			Key: "acct/07", Value: []byte("balance-0259"), Proof: upperW,
+		}).Marshal(),
+		"historical_result": (&HistoricalResult{
+			Key: "acct/07", Lo: 2, Hi: 7, Entries: entries,
+			Proof: &RangeProof{Upper: upperW, Lower: lowerW},
+		}).Marshal(),
+		"keyword_result": (&KeywordResult{
+			Keywords: []string{"bank"},
+			Lists:    [][]mbtree.Entry{entries},
+			Proofs:   []*RangeProof{{Upper: upperW, Lower: lowerW}},
+			Matches:  []Posting{{Version: 3, TxHash: chash.Leaf([]byte("tx-3"))}},
+		}).Marshal(),
+	}
+	out := make(map[string]string, len(vectors))
+	for name, raw := range vectors {
+		sum := chash.Sum(chash.DomainNode, raw)
+		out[name] = hex.EncodeToString(sum.Bytes())
+	}
+	return out
+}
+
+// Digests captured from the pre-fleet codebase (before the batch extension).
+var goldenWireDigests = map[string]string{
+	"request_state":      "eeae3f6a305a16b098adee7bfeb9b950c2f26c4bddde1877f9e75463ad6ddc9e",
+	"request_historical": "0494a64c663b011644864201168acf33abebc4fdc7e36f68013f36ff95bb86c6",
+	"request_keyword":    "0d3830088336aa00a787fe22b04648bc3cae2488ee4746f89295af0c0778f0c8",
+	"response_ok":        "e5c8cef4139fb31d45ac7ebe784576140b4d24547f6713ad9eab902fbae62454",
+	"response_err":       "37d06e6afb9236d3dc7dbdb1d8169aef873ca90856812caeb002c348be708093",
+	"state_result":       "ce564e16cc2ca1451dc3830d91ed225323b1ad8c8bae496aa4a143002f4f5fa6",
+	"historical_result":  "0a88d62eeaa7c403756a475dd5fd739aa9944158c0ea87220c4402b1f5b0742e",
+	"keyword_result":     "c5916b049d93f6e0f5b8aea61b483d2e417e4ed9be357189e54a8be753318dfe",
+}
+
+func TestGoldenSingleKeyWireFormats(t *testing.T) {
+	got := goldenVectors(t)
+	if os.Getenv("DCERT_PRINT_GOLDEN") != "" {
+		for name, d := range got {
+			fmt.Printf("\t%q: %q,\n", name, d)
+		}
+	}
+	for name, want := range goldenWireDigests {
+		if got[name] != want {
+			t.Errorf("%s: encoding drifted from golden vector\n got %s\nwant %s", name, got[name], want)
+		}
+	}
+	if len(got) != len(goldenWireDigests) {
+		t.Fatalf("vector count mismatch: got %d, pinned %d", len(got), len(goldenWireDigests))
+	}
+}
+
+// The golden fixtures must round-trip through the parsers: a pin on bytes
+// nobody can decode would be worthless.
+func TestGoldenVectorsRoundTrip(t *testing.T) {
+	tr := goldenTrie(t)
+	upperW, err := tr.Prove([]byte("acct/07"))
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	res := &StateResult{Key: "acct/07", Value: []byte("balance-0259"), Proof: upperW}
+	parsed, err := UnmarshalStateResult(res.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalStateResult: %v", err)
+	}
+	root, err := tr.Hash()
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	got, err := mpt.VerifyProof(root, []byte(parsed.Key), parsed.Proof)
+	if err != nil {
+		t.Fatalf("VerifyProof: %v", err)
+	}
+	if string(got) != "balance-0259" {
+		t.Fatalf("proven value %q", got)
+	}
+}

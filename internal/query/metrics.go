@@ -49,4 +49,5 @@ func (s *Server) Instrument(reg *obs.Registry, id string) {
 		replayed: reg.Counter("dcert_sp_responses_total",
 			"Query responses by cache outcome.", obs.L("sp", id), obs.L("cache", "hit")),
 	}
+	s.rcache.Instrument(reg, id)
 }

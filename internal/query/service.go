@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,7 +44,11 @@ const (
 	reqHistorical byte = 1
 	reqKeyword    byte = 2
 	reqState      byte = 3
+	reqBatchState byte = 4
 )
+
+// MaxBatchKeys bounds the key count of one batch request.
+const MaxBatchKeys = 1024
 
 // Request is a serializable query request.
 type Request struct {
@@ -59,6 +64,10 @@ type Request struct {
 	Lo, Hi uint64
 	// Keywords are the conjuncts of a keyword query.
 	Keywords []string
+	// Keys are the state keys of a batch query (reqBatchState only; the
+	// field is encoded only for that kind, so every pre-batch request kind
+	// keeps its exact historical byte encoding).
+	Keys []string
 }
 
 // Marshal serializes the request.
@@ -73,6 +82,12 @@ func (r *Request) Marshal() []byte {
 	e.PutUint32(uint32(len(r.Keywords)))
 	for _, kw := range r.Keywords {
 		e.PutString(kw)
+	}
+	if r.Kind == reqBatchState {
+		e.PutUint32(uint32(len(r.Keys)))
+		for _, k := range r.Keys {
+			e.PutString(k)
+		}
 	}
 	return e.Bytes()
 }
@@ -114,10 +129,58 @@ func UnmarshalRequest(raw []byte) (*Request, error) {
 		}
 		r.Keywords = append(r.Keywords, kw)
 	}
+	if r.Kind == reqBatchState {
+		k, err := d.Uint32()
+		if err != nil {
+			return nil, fmt.Errorf("query: unmarshal request: %w", err)
+		}
+		if k > MaxBatchKeys {
+			return nil, fmt.Errorf("query: unmarshal request: %d batch keys", k)
+		}
+		for i := uint32(0); i < k; i++ {
+			key, err := d.ReadString()
+			if err != nil {
+				return nil, fmt.Errorf("query: unmarshal request: %w", err)
+			}
+			r.Keys = append(r.Keys, key)
+		}
+	}
 	if err := d.Finish(); err != nil {
 		return nil, fmt.Errorf("query: unmarshal request: %w", err)
 	}
 	return &r, nil
+}
+
+// AffinityKey returns the request's routing key: requests about the same
+// data map to the same key, so a consistent-hash router sends them to the
+// same replica (warm cache, stable load split). The request ID and window
+// bounds are deliberately excluded — they vary per attempt without changing
+// which replica should answer. A batch request routes as one unit (its
+// merged multiproof must come from a single replica's snapshot).
+func (r *Request) AffinityKey() string {
+	switch r.Kind {
+	case reqState:
+		return "s\x00" + r.Key
+	case reqHistorical:
+		return "h\x00" + r.Index + "\x00" + r.Key
+	case reqKeyword:
+		return "k\x00" + r.Index + "\x00" + strings.Join(r.Keywords, "\x00")
+	case reqBatchState:
+		return "b\x00" + strings.Join(r.Keys, "\x00")
+	default:
+		return r.Index + "\x00" + r.Key
+	}
+}
+
+// SemanticKey returns the request's identity for response caching: two
+// requests with the same semantic key ask the same question and may share a
+// cached answer. Unlike the raw encoding it excludes the per-attempt request
+// ID, so resends and concurrent identical queries from different clients
+// collapse onto one computation.
+func (r *Request) SemanticKey() string {
+	c := *r
+	c.ID = 0
+	return string(c.Marshal())
 }
 
 // Response is a serializable query response.
@@ -159,38 +222,35 @@ func UnmarshalResponse(raw []byte) (*Response, error) {
 	return &r, nil
 }
 
-// respCacheLimit bounds the server's idempotent-response cache (FIFO).
-const respCacheLimit = 512
-
 // Server runs a ServiceProvider behind the network's query topic.
 //
 // The server is idempotent under duplicated delivery: responses are cached
 // keyed by the exact request bytes, so a request replayed by the network (or
 // a client resend with the same ID) republishes the original response
-// instead of recomputing or double-delivering a fresh one.
+// instead of recomputing or double-delivering a fresh one. The cache is a
+// byte-bounded singleflight LRU (ResponseCache).
 type Server struct {
-	sp   *ServiceProvider
-	net  network.Bus
-	sub  *network.Subscription
-	done chan struct{}
-	wg   sync.WaitGroup
+	sp     *ServiceProvider
+	net    network.Bus
+	sub    *network.Subscription
+	done   chan struct{}
+	wg     sync.WaitGroup
+	rcache *ResponseCache
 
-	mu         sync.Mutex
-	met        serverObs
-	cache      map[string][]byte
-	cacheOrder []string
-	computed   uint64
-	replayed   uint64
+	mu       sync.Mutex
+	met      serverObs
+	computed uint64
+	replayed uint64
 }
 
 // Serve starts answering requests until Stop is called.
 func Serve(sp *ServiceProvider, net network.Bus) *Server {
 	s := &Server{
-		sp:    sp,
-		net:   net,
-		sub:   net.Subscribe(TopicQueries, 64),
-		done:  make(chan struct{}),
-		cache: make(map[string][]byte),
+		sp:     sp,
+		net:    net,
+		sub:    net.Subscribe(TopicQueries, 64),
+		done:   make(chan struct{}),
+		rcache: NewResponseCache(DefaultCacheBytes),
 	}
 	s.wg.Add(1)
 	go s.loop()
@@ -198,40 +258,18 @@ func Serve(sp *ServiceProvider, net network.Bus) *Server {
 }
 
 // Stats reports how many requests were computed fresh and how many were
-// answered from the idempotent-response cache.
+// answered from the idempotent-response cache (hit or collapsed onto an
+// in-flight computation).
 func (s *Server) Stats() (computed, replayed uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.computed, s.replayed
 }
 
-// cached returns the stored response for a request's exact bytes, if any.
-func (s *Server) cached(key string) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	raw, ok := s.cache[key]
-	if ok {
-		s.replayed++
-		s.met.replayed.Inc()
-	}
-	return raw, ok
-}
-
-// store records a freshly computed response, evicting FIFO past the limit.
-func (s *Server) store(key string, resp []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.computed++
-	s.met.computed.Inc()
-	if _, ok := s.cache[key]; ok {
-		return
-	}
-	if len(s.cacheOrder) >= respCacheLimit {
-		delete(s.cache, s.cacheOrder[0])
-		s.cacheOrder = s.cacheOrder[1:]
-	}
-	s.cache[key] = resp
-	s.cacheOrder = append(s.cacheOrder, key)
+// Cache exposes the server's response cache (for instrumentation and
+// inspection).
+func (s *Server) Cache() *ResponseCache {
+	return s.rcache
 }
 
 // Stop shuts the server down and waits for the serving goroutine.
@@ -259,11 +297,18 @@ func (s *Server) loop() {
 			if err != nil {
 				continue // malformed request: nothing to respond to
 			}
-			respRaw, ok := s.cached(string(raw))
-			if !ok {
-				respRaw = s.handle(req).Marshal()
-				s.store(string(raw), respRaw)
+			respRaw, outcome := s.rcache.Do(string(raw), func() []byte {
+				return s.handle(req).Marshal()
+			})
+			s.mu.Lock()
+			if outcome == CacheComputed {
+				s.computed++
+				s.met.computed.Inc()
+			} else {
+				s.replayed++
+				s.met.replayed.Inc()
 			}
+			s.mu.Unlock()
 			// Publish errors only mean the fabric shut down.
 			if err := s.net.Publish(TopicResults, "sp", respRaw); err != nil {
 				return
@@ -298,6 +343,13 @@ func Execute(sp *ServiceProvider, req *Request) *Response {
 		resp.Body = res.Marshal()
 	case reqState:
 		res, err := sp.StateQuery(req.Key)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Body = res.Marshal()
+	case reqBatchState:
+		res, err := sp.BatchStateQuery(req.Keys)
 		if err != nil {
 			resp.Err = err.Error()
 			return resp
@@ -339,6 +391,12 @@ func NewHistoricalRequest(index, key string, lo, hi uint64) *Request {
 // NewKeywordRequest builds a conjunctive keyword-query request.
 func NewKeywordRequest(index string, keywords []string) *Request {
 	return &Request{Kind: reqKeyword, Index: index, Keywords: keywords}
+}
+
+// NewBatchStateRequest builds a multi-key state-read request answered by one
+// merged multiproof.
+func NewBatchStateRequest(keys []string) *Request {
+	return &Request{Kind: reqBatchState, Keys: keys}
 }
 
 // RetryPolicy bounds and paces the Requester's attempts. Each attempt gets
@@ -556,4 +614,14 @@ func (r *Requester) State(key string) (*StateResult, error) {
 		return nil, err
 	}
 	return UnmarshalStateResult(resp.Body)
+}
+
+// BatchState runs a remote multi-key state read: one round trip, one merged
+// multiproof covering every key.
+func (r *Requester) BatchState(keys []string) (*BatchStateResult, error) {
+	resp, err := r.roundTrip(&Request{Kind: reqBatchState, Keys: keys})
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalBatchStateResult(resp.Body)
 }

@@ -72,6 +72,29 @@ func (sp *ServiceProvider) ProcessBlock(blk *chain.Block) error {
 	return nil
 }
 
+// Seal pre-hashes every lazily-hashed structure the SP serves from — the
+// state commitment, each index's upper trie, and each index's lower trees —
+// so that subsequent query paths (Get, Prove, WitnessForRange) are pure
+// reads. A sealed SP that processes no further blocks can answer queries
+// from many goroutines concurrently; the fleet's snapshot discipline relies
+// on this.
+func (sp *ServiceProvider) Seal() error {
+	if _, err := sp.node.State().Root(); err != nil {
+		return fmt.Errorf("query: seal state: %w", err)
+	}
+	for _, ix := range sp.indexes {
+		if _, err := ix.Root(); err != nil {
+			return fmt.Errorf("query: seal index %q: %w", ix.Name(), err)
+		}
+		for key, lower := range ix.lowers {
+			if _, err := lower.Root(); err != nil {
+				return fmt.Errorf("query: seal index %q key %q: %w", ix.Name(), key, err)
+			}
+		}
+	}
+	return nil
+}
+
 // HistoricalResult is the SP's answer to a historical range query.
 type HistoricalResult struct {
 	// Key is the queried state key.

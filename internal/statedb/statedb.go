@@ -432,3 +432,15 @@ func (db *DB) Prove(key []byte) (*mpt.Witness, error) {
 	}
 	return db.trie.Prove(key)
 }
+
+// ProveKeys builds one merged multiproof covering all the given keys: a
+// single witness holding the union of the keys' path nodes. Shared upper
+// path nodes appear once (the witness is content-addressed), so a K-key
+// multiproof is strictly smaller than K single-key proofs and verifies every
+// key against the same root. Only the MPT backend serves path proofs.
+func (db *DB) ProveKeys(keys [][]byte) (*mpt.Witness, error) {
+	if db.kind != BackendMPT {
+		return nil, fmt.Errorf("statedb: state proofs require the MPT backend, have %s", db.kind)
+	}
+	return db.trie.WitnessForKeys(keys)
+}

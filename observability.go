@@ -83,6 +83,9 @@ func (d *Deployment) EnableObservability(logger *Logger) (*MetricsRegistry, *Tra
 	if d.engine != nil {
 		d.engine.Instrument(d.reg)
 	}
+	if f := d.fleet.Load(); f != nil {
+		f.Instrument(d.reg)
+	}
 	return d.reg, d.tracer
 }
 

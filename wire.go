@@ -186,6 +186,11 @@ func (d *Deployment) ServeWire(cfg WireServerConfig) (*WireServer, error) {
 		return blk.Marshal(), nil
 	})
 	srv.Handle(WireRouteQuery, func(body []byte) ([]byte, error) {
+		// With a fleet started, wire queries route through the
+		// consistent-hash front door; otherwise the single SP answers.
+		if f := d.fleet.Load(); f != nil {
+			return f.HandleRaw(body), nil
+		}
 		return query.HandleRaw(d.sp, body), nil
 	})
 	return srv, nil
