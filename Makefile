@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 chaos chaos-obs chaos-disk chaos-net fmt vet bench bench-state bench-serving bench-json fuzz-wire clean
+.PHONY: all tier1 tier2 chaos chaos-obs chaos-disk chaos-net fmt vet bench bench-state bench-serving bench-certify bench-json fuzz-wire clean
 
 all: tier1
 
@@ -71,11 +71,20 @@ bench-state:
 bench-serving:
 	$(GO) run ./cmd/dcert-bench -exp serving -json BENCH_serving.json
 
+# Segment-certification experiment: the K-block amortization curve
+# (ecalls/block ≈ 1/K, modeled certified-blocks/s from the fitted per-Ecall
+# cost) plus the sublinear-bootstrap fetch counts at 1k/10k/100k blocks.
+# Compare against EXPERIMENTS.md / BENCH_certify.json; the ≥2×-at-K=8 and
+# sublinearity gates live in internal/bench's TestRunCertifyGatesHold.
+bench-certify:
+	$(GO) run ./cmd/dcert-bench -exp certify -json BENCH_certify.json
+
 # Throughput experiments with machine-readable artifacts.
 bench-json:
 	$(GO) run ./cmd/dcert-bench -exp pipeline -json BENCH_pipeline.json
 	$(GO) run ./cmd/dcert-bench -exp state -json BENCH_state.json
 	$(GO) run ./cmd/dcert-bench -exp serving -json BENCH_serving.json
+	$(GO) run ./cmd/dcert-bench -exp certify -json BENCH_certify.json
 
 # Fuzz smoke for the query wire codecs (the batch multiproof decoder and the
 # canonical request round trip). Short budgets: CI regression surface, not a
@@ -83,6 +92,7 @@ bench-json:
 fuzz-wire:
 	$(GO) test -run='^$$' -fuzz='^FuzzUnmarshalBatchStateResult$$' -fuzztime=10s ./internal/query/
 	$(GO) test -run='^$$' -fuzz='^FuzzUnmarshalRequest$$' -fuzztime=10s ./internal/query/
+	$(GO) test -run='^$$' -fuzz='^FuzzUnmarshalSegmentCert$$' -fuzztime=10s ./internal/core/
 
 clean:
 	$(GO) clean ./...

@@ -245,9 +245,21 @@ func (p *CertPlane) startSlotPipeline(s *ciSlot) error {
 				}
 				continue
 			}
-			bundle := &CertBundle{Header: &res.Block.Header, Cert: res.Cert}
-			if err := p.d.net.Publish(TopicCerts, s.name, bundle); err != nil && s.pipeErr == nil {
-				s.pipeErr = err
+			// Segment-certified blocks share one certificate: publish the
+			// whole segment once, when its tip lands (a per-block bundle
+			// would not verify — the certificate covers the segment digest,
+			// not any single block digest).
+			if res.Segment != nil && len(res.Segment.Headers) > 1 {
+				if res.Segment.End() == res.Block.Header.Height {
+					if err := p.d.net.Publish(TopicCerts, s.name, res.Segment); err != nil && s.pipeErr == nil {
+						s.pipeErr = err
+					}
+				}
+			} else {
+				bundle := &CertBundle{Header: &res.Block.Header, Cert: res.Cert}
+				if err := p.d.net.Publish(TopicCerts, s.name, bundle); err != nil && s.pipeErr == nil {
+					s.pipeErr = err
+				}
 			}
 			// The block was journaled (uncertified) at submit time; attach
 			// the certificate now that the enclave has produced it. ApplyCert
@@ -466,6 +478,12 @@ func (p *CertPlane) Restart(name string) error {
 	}
 	if bundle := ci.LatestBundle(); bundle != nil {
 		if err := p.d.net.Publish(TopicCerts, name, bundle); err != nil {
+			return err
+		}
+	} else if seg := ci.LatestSegment(); seg != nil {
+		// The resumed tip certificate covers a multi-block segment, so there
+		// is no per-block bundle for it — re-publish the segment instead.
+		if err := p.d.net.Publish(TopicCerts, name, seg); err != nil {
 			return err
 		}
 	}

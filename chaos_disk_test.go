@@ -76,14 +76,27 @@ func assertRecovered(t *testing.T, dep *dcert.Deployment, mined []dcert.Hash) ui
 	}
 	// The recovered tip certificate must verify end-to-end: a superlight
 	// client pinned to the resumed authority accepts it through full
-	// recursive validation.
+	// recursive validation. The certificate may cover a K-block segment
+	// ending at the tip, so recover the covered suffix first — a
+	// single-block certificate matches at suffix length 1.
 	if ck := rec.Checkpoint; ck != nil {
 		if ck.Height != rec.TipHeight() {
 			t.Fatalf("checkpoint height %d does not match recovered tip %d", ck.Height, rec.TipHeight())
 		}
+		var headers []*dcert.Header
+		matched := false
+		for k := uint64(0); k < ck.Height; k++ {
+			headers = append([]*dcert.Header{&rec.Blocks[ck.Height-k].Header}, headers...)
+			if dcert.SegmentDigest(headers) == ck.Cert.Digest {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Fatal("checkpoint certificate covers no chain suffix at the recovered tip")
+		}
 		client := dep.NewSuperlightClient()
-		tip := rec.Blocks[ck.Height]
-		if err := client.ValidateChain(&tip.Header, ck.Cert); err != nil {
+		if err := client.ValidateSegment(&dcert.SegmentCert{Headers: headers, Cert: ck.Cert}); err != nil {
 			t.Fatalf("recovered tip certificate rejected: %v", err)
 		}
 	}
@@ -182,6 +195,122 @@ func TestChaosDiskFaultPlans(t *testing.T) {
 			assertResumes(t, resumed, tip, 3)
 		})
 	}
+}
+
+// TestChaosDiskMidSegmentKill crashes the primary issuer mid-segment: the
+// segment committer has certified one full segment (heights 1–4) while two
+// more blocks (5–6) sit in its open batch behind an hour-long deadline. The
+// kill aborts the pipeline — in-flight speculation dies with the enclave —
+// so the persisted checkpoint lands exactly on the segment boundary. Restart
+// resumes the recursion from the segment certificate (the suffix search in
+// ResumeIssuer) and re-certifies ONLY the uncertified suffix, as one segment
+// with one ecall: the certified prefix stays gapless and no height is ever
+// double-signed.
+func TestChaosDiskMidSegmentKill(t *testing.T) {
+	dir := t.TempDir()
+	dep, err := dcert.NewDeployment(diskChaosConfig(dir, nil, 0, 606))
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+	plane, err := dep.StartCertPlane(1)
+	if err != nil {
+		t.Fatalf("StartCertPlane: %v", err)
+	}
+	err = plane.StartPipelines(dcert.PipelineConfig{
+		Workers: 2,
+		Segment: &dcert.SegmentPolicy{MaxBlocks: 4, MaxDelay: time.Hour},
+	})
+	if err != nil {
+		t.Fatalf("StartPipelines: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := plane.MineAndBroadcastPipelined(3); err != nil {
+			t.Fatalf("mine block %d: %v", i+1, err)
+		}
+	}
+	// Wait for the first segment to certify; blocks 5–6 stay speculative in
+	// the open batch (the deadline never fires).
+	iss, err := plane.Issuer("ci0")
+	if err != nil {
+		t.Fatalf("Issuer: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for iss.Node().Tip().Header.Height < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("first segment never certified (tip %d)", iss.Node().Tip().Header.Height)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if h := iss.Node().Tip().Header.Height; h != 4 {
+		t.Fatalf("certified tip %d, want the segment boundary 4", h)
+	}
+
+	if err := plane.Kill("ci0"); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	ckh, err := plane.CheckpointHeight("ci0")
+	if err != nil {
+		t.Fatalf("CheckpointHeight: %v", err)
+	}
+	if ckh != 4 {
+		t.Fatalf("checkpoint height %d, want the segment boundary 4 (speculation must die with the enclave)", ckh)
+	}
+
+	if err := plane.Restart("ci0"); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	iss, err = plane.Issuer("ci0")
+	if err != nil {
+		t.Fatalf("Issuer after restart: %v", err)
+	}
+	if h := iss.Node().Tip().Header.Height; h != 6 {
+		t.Fatalf("resumed certified tip %d, want 6", h)
+	}
+	// The fresh enclave re-certified only the uncertified suffix [5,6], as
+	// one segment: exactly one ecall, no recovered height re-signed.
+	if got := iss.Enclave().Stats().Ecalls; got != 1 {
+		t.Fatalf("resumed enclave made %d ecalls for 2 missed blocks, want 1 (one segment)", got)
+	}
+	seg := iss.LatestSegment()
+	if seg == nil || seg.Start() != 5 || seg.End() != 6 {
+		t.Fatalf("catch-up segment %+v, want cover [5,6]", seg)
+	}
+	if err := dep.NewSuperlightClient().ValidateSegment(seg); err != nil {
+		t.Fatalf("catch-up segment rejected: %v", err)
+	}
+
+	// The restarted slot keeps amortizing: one more full segment, one ecall.
+	before := iss.Enclave().Stats().Ecalls
+	for i := 0; i < 4; i++ {
+		if _, err := plane.MineAndBroadcastPipelined(3); err != nil {
+			t.Fatalf("mine post-restart block %d: %v", i+1, err)
+		}
+	}
+	if err := plane.DrainPipelines(); err != nil {
+		t.Fatalf("DrainPipelines: %v", err)
+	}
+	plane.Stop()
+	if got := iss.Enclave().Stats().Ecalls - before; got != 1 {
+		t.Fatalf("4 post-restart blocks took %d ecalls, want 1", got)
+	}
+
+	// Full process restart: the mixed history (segment certificates
+	// throughout) must recover gapless from disk, and the segment checkpoint
+	// must re-validate through the suffix-aware path.
+	mined := minedChain(t, dep)
+	if err := dep.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	resumed, err := dcert.OpenDeployment(diskChaosConfig(dir, nil, 0, 606))
+	if err != nil {
+		t.Fatalf("OpenDeployment: %v", err)
+	}
+	defer resumed.Close()
+	tip := assertRecovered(t, resumed, mined)
+	if tip != 10 {
+		t.Fatalf("recovered tip %d, want 10", tip)
+	}
+	assertResumes(t, resumed, tip, 3)
 }
 
 // TestChaosDiskPowerCutPipelined crashes a deployment running the full

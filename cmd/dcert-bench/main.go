@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dcert-bench [-scale small|paper] [-exp all|params|fig7|fig8|fig9|fig10|fig11|headline|ablation|vendors|pipeline|state|storage|serving] [-json path]
+//	dcert-bench [-scale small|paper] [-exp all|params|fig7|fig8|fig9|fig10|fig11|headline|ablation|vendors|pipeline|certify|state|storage|serving] [-json path]
 //	            [-cpuprofile path] [-memprofile path]
 //
 // Output is a set of plain-text tables with the same rows/series the paper
@@ -33,7 +33,7 @@ func main() {
 
 func run() error {
 	scaleFlag := flag.String("scale", "small", "experiment scale: small (seconds) or paper (minutes)")
-	expFlag := flag.String("exp", "all", "experiment: all, params, fig7, fig8, fig9, fig10, fig11, headline, ablation, vendors, pipeline, state, storage, serving")
+	expFlag := flag.String("exp", "all", "experiment: all, params, fig7, fig8, fig9, fig10, fig11, headline, ablation, vendors, pipeline, certify, state, storage, serving")
 	jsonFlag := flag.String("json", "", "also write the pipeline/state experiment result as JSON to this path")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this path")
@@ -181,6 +181,21 @@ func run() error {
 			}
 			return nil
 		},
+		"certify": func() error {
+			res, err := bench.RunCertify(scale)
+			if err != nil {
+				return err
+			}
+			res.Table().Fprint(os.Stdout)
+			res.BootstrapTable().Fprint(os.Stdout)
+			if *jsonFlag != "" {
+				if err := res.WriteJSON(*jsonFlag); err != nil {
+					return err
+				}
+				fmt.Printf("  wrote %s\n", *jsonFlag)
+			}
+			return nil
+		},
 		"state": func() error {
 			res, err := bench.RunState(scale)
 			if err != nil {
@@ -197,7 +212,7 @@ func run() error {
 		},
 	}
 
-	order := []string{"params", "headline", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "vendors", "pipeline", "state", "storage", "serving"}
+	order := []string{"params", "headline", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation", "vendors", "pipeline", "certify", "state", "storage", "serving"}
 	if *expFlag != "all" {
 		r, ok := runners[*expFlag]
 		if !ok {

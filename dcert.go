@@ -75,7 +75,27 @@ type (
 	PipelineResult = core.PipelineResult
 	// PipelineStats reports per-stage busy time and wall clock.
 	PipelineStats = core.PipelineStats
+	// SegmentCert is a certified K-block segment with its interlink.
+	SegmentCert = core.SegmentCert
+	// SegmentPolicy tunes the pipeline's adaptive segment batching
+	// (PipelineConfig.Segment).
+	SegmentPolicy = core.SegmentPolicy
+	// SegmentFetcher retrieves the certified segment covering a height for
+	// BootstrapSublinear.
+	SegmentFetcher = core.SegmentFetcher
 )
+
+// SegmentDigest returns the certified digest of a header run (for one header
+// it equals BlockDigest — the K=1 byte identity).
+func SegmentDigest(headers []*Header) Hash {
+	return core.SegmentDigest(headers)
+}
+
+// ModelBootstrapFetches predicts the sublinear bootstrap's fetch count for a
+// chain certified in fixed-size segments (mirrors the client's walk exactly).
+func ModelBootstrapFetches(chainLen uint64, segBlocks int) int {
+	return core.ModelBootstrapFetches(chainLen, segBlocks)
+}
 
 // NewPipeline starts a certification pipeline on an issuer.
 func NewPipeline(ci *Issuer, cfg PipelineConfig) (*Pipeline, error) {

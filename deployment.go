@@ -289,6 +289,48 @@ func (d *Deployment) MineAndCertify(n int) (*Block, *Certificate, error) {
 	return blk, cert, nil
 }
 
+// MineAndCertifySegment mines `blocks` consecutive blocks of n transactions
+// each and certifies them with ONE segment Ecall (core.Issuer.ProcessSegment)
+// — the amortized counterpart of calling MineAndCertify in a loop. Every
+// block feeds the SP and publishes on TopicBlocks; the segment certificate
+// publishes once on TopicCerts, and each covered block journals under it.
+func (d *Deployment) MineAndCertifySegment(blocks, n int) ([]*Block, *SegmentCert, error) {
+	if blocks < 1 {
+		return nil, nil, fmt.Errorf("dcert: segment needs at least 1 block, got %d", blocks)
+	}
+	blks := make([]*Block, 0, blocks)
+	for i := 0; i < blocks; i++ {
+		txs, err := d.gen.Block(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		blk, err := d.miner.Propose(txs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dcert: propose: %w", err)
+		}
+		blks = append(blks, blk)
+	}
+	seg, _, err := d.issuer.ProcessSegment(blks)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dcert: certify segment: %w", err)
+	}
+	for _, blk := range blks {
+		if err := d.feedServing(blk); err != nil {
+			return nil, nil, fmt.Errorf("dcert: SP: %w", err)
+		}
+		if err := d.net.Publish(TopicBlocks, "miner", blk); err != nil {
+			return nil, nil, err
+		}
+		if err := d.persistBlock(blk, seg.Cert); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := d.net.Publish(TopicCerts, "ci", seg); err != nil {
+		return nil, nil, err
+	}
+	return blks, seg, nil
+}
+
 // AddIndex registers a two-level authenticated index with both the SP (real
 // maintenance) and the CI's trusted program (certification logic). Call it
 // before mining the blocks the index should cover.

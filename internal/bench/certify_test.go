@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"dcert"
+)
+
+func TestRunCertifyGatesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("certifies 11k blocks; skipped under -short")
+	}
+	res, err := RunCertify(Small)
+	if err != nil {
+		t.Fatalf("RunCertify: %v", err)
+	}
+	if len(res.Points) != len(certifySegSizes) {
+		t.Fatalf("%d points, want %d", len(res.Points), len(certifySegSizes))
+	}
+	for _, p := range res.Points {
+		// Ecalls/block must track 1/K exactly: the run's block count is a
+		// multiple of every K in the sweep, so there is no ceil slack.
+		want := float64(res.Blocks/p.K) / float64(res.Blocks)
+		if p.EcallsPerBlock != want {
+			t.Fatalf("K=%d: %.4f ecalls/block, want %.4f", p.K, p.EcallsPerBlock, want)
+		}
+	}
+	// Gate 1: the amortization curve — K=8 must model ≥2× the K=1
+	// certified-blocks/s (the fixed per-Ecall cost dominates empty blocks).
+	var k1, k8 CertifyPoint
+	for _, p := range res.Points {
+		if p.K == 1 {
+			k1 = p
+		}
+		if p.K == 8 {
+			k8 = p
+		}
+	}
+	if k8.Speedup < 2 {
+		t.Fatalf("K=8 modeled speedup %.2fx < 2x (K=1 %.1f blocks/s, K=8 %.1f blocks/s; fit fixed %.3f ms + %.3f ms/block)",
+			k8.Speedup, k1.ModeledBlocksPerSec, k8.ModeledBlocksPerSec, res.EcallFixedMS, res.EcallPerBlockMS)
+	}
+	// Gate 2: measured bootstrap fetches equal the exact walk model and stay
+	// under the 3·log2(n) sublinearity bound — far below the linear follower.
+	measured := 0
+	for _, b := range res.Bootstrap {
+		if b.Modeled {
+			continue
+		}
+		measured++
+		if want := dcert.ModelBootstrapFetches(b.ChainLen, b.SegBlocks); b.Fetches != want {
+			t.Fatalf("chain %d: %d fetches, model says %d", b.ChainLen, b.Fetches, want)
+		}
+		if b.Fetches > b.LogBound {
+			t.Fatalf("chain %d: %d fetches beyond the 3·log2(n) bound %d", b.ChainLen, b.Fetches, b.LogBound)
+		}
+		if uint64(b.Fetches)*10 >= b.ChainLen {
+			t.Fatalf("chain %d: %d fetches is not sublinear territory", b.ChainLen, b.Fetches)
+		}
+	}
+	if measured < 2 {
+		t.Fatalf("%d measured bootstrap points, want ≥2", measured)
+	}
+	res.Table().Fprint(&strings.Builder{})
+	res.BootstrapTable().Fprint(&strings.Builder{})
+}

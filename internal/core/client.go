@@ -25,6 +25,11 @@ type SuperlightClient struct {
 	// latestHdr/latestCert are the client's entire chain state.
 	latestHdr  *chain.Header
 	latestCert *Certificate
+	// latestSeg is set when the tip certificate covers a multi-block segment
+	// (nil for single-block certificates, where latestHdr/latestCert suffice
+	// — keeping single-block snapshots byte-identical to the pre-segment
+	// format).
+	latestSeg *SegmentCert
 	// attestedKeys caches enclave public keys whose attestation report has
 	// already been verified — the paper's "check an attestation report only
 	// once for the same enclave" (§4.3).
@@ -96,6 +101,7 @@ func (c *SuperlightClient) ValidateChain(hdr *chain.Header, cert *Certificate) e
 	}
 	c.latestHdr = hdr
 	c.latestCert = cert
+	c.latestSeg = nil
 	return nil
 }
 
@@ -161,6 +167,13 @@ func (c *SuperlightClient) Snapshot() ([]byte, error) {
 	e := chash.NewEncoder(16 + len(hdr) + len(cert))
 	e.PutBytes(hdr)
 	e.PutBytes(cert)
+	// A multi-block segment tip appends the whole segment: its certificate
+	// only verifies against the segment digest, so the headers must travel
+	// with it. Single-block tips omit the field entirely, keeping their
+	// snapshot bytes identical to the pre-segment format.
+	if c.latestSeg != nil && c.latestSeg.Tip().Hash() == c.latestHdr.Hash() {
+		e.PutBytes(c.latestSeg.Marshal())
+	}
 	return e.Bytes(), nil
 }
 
@@ -184,6 +197,25 @@ func (c *SuperlightClient) Restore(raw []byte) error {
 	cert, err := UnmarshalCertificate(certRaw)
 	if err != nil {
 		return fmt.Errorf("core: restore: %w", err)
+	}
+	if d.Remaining() > 0 {
+		// Segment-tip snapshot: the trailing field is the full segment whose
+		// certificate is the one above.
+		segRaw, err := d.ReadBytes()
+		if err != nil {
+			return fmt.Errorf("core: restore: %w", err)
+		}
+		if err := d.Finish(); err != nil {
+			return fmt.Errorf("core: restore: %w", err)
+		}
+		seg, err := UnmarshalSegmentCert(segRaw)
+		if err != nil {
+			return fmt.Errorf("core: restore: %w", err)
+		}
+		if seg.Tip().Hash() != hdr.Hash() {
+			return fmt.Errorf("%w: snapshot segment tip does not match header", ErrBadSegment)
+		}
+		return c.ValidateSegment(seg)
 	}
 	if err := d.Finish(); err != nil {
 		return fmt.Errorf("core: restore: %w", err)

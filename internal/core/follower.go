@@ -135,23 +135,30 @@ func (f *Follower) loop() {
 			if !ok {
 				return
 			}
-			if b, isBundle := m.Payload.(*CertBundle); isBundle {
-				f.mu.Lock()
-				if err := f.client.ValidateChain(b.Header, b.Cert); err == nil {
-					f.stats.Accepted++
-					// Progress: push the stall horizon out.
-					if !stall.Stop() {
-						select {
-						case <-stall.C:
-						default:
-						}
-					}
-					stall.Reset(f.cfg.StallDeadline)
-				} else {
-					f.stats.Rejected++
-				}
-				f.mu.Unlock()
+			var verr error
+			switch b := m.Payload.(type) {
+			case *CertBundle:
+				verr = f.client.ValidateChain(b.Header, b.Cert)
+			case *SegmentCert:
+				verr = f.client.ValidateSegment(b)
+			default:
+				continue
 			}
+			f.mu.Lock()
+			if verr == nil {
+				f.stats.Accepted++
+				// Progress: push the stall horizon out.
+				if !stall.Stop() {
+					select {
+					case <-stall.C:
+					default:
+					}
+				}
+				stall.Reset(f.cfg.StallDeadline)
+			} else {
+				f.stats.Rejected++
+			}
+			f.mu.Unlock()
 		case <-stall.C:
 			hdr, _ := f.client.Latest()
 			var height uint64
@@ -260,12 +267,19 @@ func (r *CertResponder) loop() {
 			if !isReq {
 				continue
 			}
-			bundle := r.ci.LatestBundle()
-			if bundle == nil || bundle.Header.Height <= req.Height {
+			// The newest certificate may cover a multi-block segment, in
+			// which case there is no per-block bundle for the tip — answer
+			// with the whole segment instead.
+			var payload any
+			if bundle := r.ci.LatestBundle(); bundle != nil && bundle.Header.Height > req.Height {
+				payload = bundle
+			} else if seg := r.ci.LatestSegment(); seg != nil && seg.End() > req.Height {
+				payload = seg
+			} else {
 				continue // nothing newer to offer
 			}
 			// Publish errors only mean the fabric shut down.
-			if err := r.net.Publish(network.TopicCerts, r.name, bundle); err != nil {
+			if err := r.net.Publish(network.TopicCerts, r.name, payload); err != nil {
 				return
 			}
 		}

@@ -44,6 +44,58 @@ func FuzzUnmarshalCertificate(f *testing.F) {
 	})
 }
 
+// FuzzUnmarshalSegmentCert attacks the segment-certificate wire codec with
+// adversarial bytes. Properties: decodable bytes re-encode canonically; a
+// parsed segment never panics the client's verifier; verification only
+// succeeds when the signed content (headers + certificate) is the genuine
+// one — the unsigned interlink hints may mutate freely, they are refuted at
+// bootstrap time, not parse time; and claimed counts never drive
+// allocations, so absurd counts fail fast on truncated input.
+func FuzzUnmarshalSegmentCert(f *testing.F) {
+	r := newSegRig(f, "segment-fuzz-v1")
+	blks := r.mineEmpty(f, 8)
+	if _, _, err := r.ci.ProcessSegment(blks[:4]); err != nil {
+		f.Fatalf("ProcessSegment: %v", err)
+	}
+	seg, _, err := r.ci.ProcessSegment(blks[4:])
+	if err != nil {
+		f.Fatalf("ProcessSegment: %v", err)
+	}
+	genuine := seg.Marshal()
+	f.Add(genuine)
+	for _, i := range []int{4, len(genuine) / 2, len(genuine) - 2} {
+		mut := append([]byte(nil), genuine...)
+		mut[i] ^= 0xff
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	// A claimed 2^32−1 headers over 4 bytes of payload: must fail before any
+	// count-proportional allocation.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4})
+	f.Add([]byte{0, 0, 0, 0})
+
+	authorityPK := r.auth.PublicKey()
+	measurement := r.ci.Measurement()
+	genuineCert := seg.Cert.Marshal()
+	genuineTip := seg.Tip().Hash()
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		parsed, err := UnmarshalSegmentCert(raw)
+		if err != nil {
+			return
+		}
+		if string(parsed.Marshal()) != string(raw) {
+			t.Fatal("non-canonical segment decode")
+		}
+		cl := NewSuperlightClient(authorityPK, measurement, r.params)
+		if err := cl.ValidateSegment(parsed); err == nil {
+			if string(parsed.Cert.Marshal()) != string(genuineCert) || parsed.Tip().Hash() != genuineTip {
+				t.Fatal("a segment with mutated signed content validated")
+			}
+		}
+	})
+}
+
 // FuzzPipelineProof attacks the pipeline's prepare/commit trust boundary:
 // the update proof is computed by the untrusted executor stage and handed to
 // the committer, which feeds it into the enclave. A compromised host could

@@ -39,6 +39,8 @@ type Issuer struct {
 	indexCerts     map[string]map[chash.Hash]*Certificate // index → block hash → cert
 	indexRoots     map[string]chash.Hash                  // index → last certified root
 	lastIndexBlock map[string]chash.Hash                  // index → block hash of last cert
+	lastSegHeaders []*chain.Header                        // headers under lastCert's digest
+	segs           []*SegmentCert                         // ordered certified-segment history
 }
 
 // CostBreakdown reports where one certificate construction spent its time,
@@ -251,12 +253,32 @@ func (ci *Issuer) ProcessBlock(blk *chain.Block) (*Certificate, CostBreakdown, e
 }
 
 // ecallSigGen runs the single block-certification Ecall, accounting its cost.
+//
+// When the certified tip is covered by a multi-block segment certificate (a
+// restart resumed from a segment checkpoint, or a per-block run follows a
+// segmented one), the recursion base must be verified over the segment digest,
+// not BlockDigest(prev) — so the call routes through the segment-aware trusted
+// entry with a one-block segment. SegmentDigest of one header IS BlockDigest,
+// so the signature — and the certificate built from it — is byte-identical to
+// the plain path.
 func (ci *Issuer) ecallSigGen(prev *chain.Block, prevCert *Certificate, blk *chain.Block, proof *statedb.UpdateProof, bd *CostBreakdown) ([]byte, error) {
+	prevHeaders := ci.lastSegmentHeaders()
+	segBase := len(prevHeaders) > 1 && prevHeaders[len(prevHeaders)-1].Hash() == prev.Hash()
+	size := ecallInputSize(prev, blk, prevCert, proof)
+	if segBase {
+		for _, h := range prevHeaders {
+			size += h.EncodedSize()
+		}
+	}
 	var sig []byte
 	before := ci.encl.Stats()
-	err := ci.encl.Ecall(ecallInputSize(prev, blk, prevCert, proof), func(ctx *enclave.Context) error {
+	err := ci.encl.Ecall(size, func(ctx *enclave.Context) error {
 		var err error
-		sig, err = ci.prog.EcallSigGen(ctx, prev, prevCert, blk, proof)
+		if segBase {
+			sig, err = ci.prog.EcallSegmentSigGen(ctx, prev, prevHeaders, prevCert, []*chain.Block{blk}, []*statedb.UpdateProof{proof})
+		} else {
+			sig, err = ci.prog.EcallSigGen(ctx, prev, prevCert, blk, proof)
+		}
 		return err
 	})
 	after := ci.encl.Stats()
@@ -284,5 +306,9 @@ func (ci *Issuer) adopt(blk *chain.Block, cert *Certificate) error {
 	ci.lastCert = cert
 	ci.lastCertAt = time.Now()
 	ci.met.blocksCertified.Inc()
+	// A single-block certificate IS a one-block segment (SegmentDigest of one
+	// header == BlockDigest), so the segment serving history stays uniform
+	// across both certification paths.
+	ci.recordSegmentLocked([]*chain.Header{&blk.Header}, cert)
 	return nil
 }

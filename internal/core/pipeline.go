@@ -70,6 +70,15 @@ type PipelineConfig struct {
 	// track per-index recursion state. Nil disables index fan-out.
 	IndexJobs func(blk *chain.Block, writes map[string][]byte) ([]*IndexJob, error)
 
+	// Segment, when set with MaxBlocks > 1, replaces the per-block committer
+	// with the segment committer: up to MaxBlocks prepared blocks are
+	// certified by ONE EcallSegmentSigGen (closing early after MaxDelay so
+	// tip latency stays bounded under slow arrival). Mutually exclusive with
+	// IndexJobs — hierarchical index certification verifies per-block
+	// certificates, which multi-block segments do not produce. MaxBlocks ≤ 1
+	// keeps the per-block committer and its byte-identical certificates.
+	Segment *SegmentPolicy
+
 	// proofHook, when set, substitutes the update proof handed from the
 	// prepare side to the commit side (the trust boundary). Test-only: the
 	// fuzz harness injects adversarial proofs here.
@@ -101,6 +110,11 @@ type PipelineResult struct {
 	Breakdown CostBreakdown
 	// Err reports why this block was not certified.
 	Err error
+	// Segment is the covering segment certificate when this block was
+	// certified through the segment committer (shared by every covered
+	// block; Cert is then the segment's certificate). Nil on the per-block
+	// path.
+	Segment *SegmentCert
 }
 
 // PipelineStats aggregates per-stage busy time for occupancy accounting.
@@ -189,6 +203,17 @@ type Pipeline struct {
 // until the pipeline has drained or aborted.
 func NewPipeline(ci *Issuer, cfg PipelineConfig) (*Pipeline, error) {
 	cfg = cfg.withDefaults()
+	segmented := cfg.Segment != nil && cfg.Segment.MaxBlocks > 1
+	// Validate before claiming the issuer: a rejected config must not leave
+	// the pipelining latch set.
+	if segmented {
+		if cfg.IndexJobs != nil {
+			return nil, fmt.Errorf("%w: segment certification cannot be combined with index fan-out", ErrBadSegment)
+		}
+		if cfg.Segment.MaxBlocks > maxSegmentBlocks {
+			return nil, fmt.Errorf("%w: MaxBlocks %d beyond %d", ErrBadSegment, cfg.Segment.MaxBlocks, maxSegmentBlocks)
+		}
+	}
 	if !ci.pipelining.CompareAndSwap(false, true) {
 		return nil, ErrPipelineBusy
 	}
@@ -220,7 +245,11 @@ func NewPipeline(ci *Issuer, cfg PipelineConfig) (*Pipeline, error) {
 	}
 	pl.wg.Add(2)
 	go pl.executor()
-	go pl.committer()
+	if segmented {
+		go pl.committerSegmented()
+	} else {
+		go pl.committer()
+	}
 	if cfg.IndexJobs != nil {
 		pl.wg.Add(1)
 		go pl.indexer()
@@ -520,6 +549,151 @@ func (pl *Pipeline) commitOne(prev *chain.Block, prevCert *Certificate, item *pi
 	pl.mu.Unlock()
 	item.res.Cert = cert
 	return nil
+}
+
+// committerSegmented is the amortizing commit stage: it accumulates prepared
+// blocks and certifies each batch with ONE segment Ecall. A batch closes at
+// MaxBlocks, at MaxDelay after its first block arrived (the tip-latency
+// bound), at stream end, or at an error boundary — blocks prepared before a
+// failure still certify, exactly like the per-block committer's local abort
+// gate. A batch pending when the pipeline has already failed is speculation
+// and dies with it: those blocks abort uncertified, their state commits roll
+// back, and a restarted issuer re-certifies them as the uncertified suffix.
+func (pl *Pipeline) committerSegmented() {
+	defer pl.wg.Done()
+	defer close(pl.indexCh)
+	pol := *pl.cfg.Segment
+	prev, prevCert := pl.ci.certifiedTip()
+	prevHeaders := pl.ci.lastSegmentHeaders()
+	var batch []*pipeItem
+	aborted := false
+
+	emit := func(item *pipeItem) {
+		item.span.End()
+		pl.out <- item.res
+	}
+	flush := func() {
+		if len(batch) == 0 || aborted {
+			return
+		}
+		start := time.Now()
+		blks := make([]*chain.Block, len(batch))
+		proofs := make([]*statedb.UpdateProof, len(batch))
+		for i, it := range batch {
+			blks[i] = it.blk
+			proofs[i] = it.proof
+		}
+		tip := batch[len(batch)-1]
+		sig, err := pl.ci.ecallSegmentSigGen(prev, prevHeaders, prevCert, blks, proofs, &tip.res.Breakdown)
+		if err == nil {
+			headers := segmentHeaders(blks)
+			cert := pl.ci.newCert(SegmentDigest(headers), sig)
+			var seg *SegmentCert
+			seg, err = pl.ci.adoptSegment(blks, headers, cert)
+			if err == nil {
+				pl.mu.Lock()
+				for _, it := range batch {
+					// Each certified block's speculative commit is now
+					// durable; its undo record (always the oldest) retires.
+					if len(pl.undo) > 0 && pl.undo[0].blockHash == it.blk.Hash() {
+						pl.undo = pl.undo[1:]
+					}
+					pl.stats.Blocks++
+				}
+				pl.mu.Unlock()
+				prev, prevCert, prevHeaders = blks[len(blks)-1], cert, headers
+				for _, it := range batch {
+					it.res.Cert = cert
+					it.res.Segment = seg
+					pl.po.blocks.Inc()
+				}
+			}
+		}
+		if err != nil {
+			pl.fail(err)
+			aborted = true
+			for _, it := range batch {
+				if it.res.Err == nil {
+					it.res.Err = err
+				}
+			}
+		}
+		pl.po.observeStage(stageCommit, start)
+		for _, it := range batch {
+			emit(it)
+		}
+		batch = batch[:0]
+	}
+
+	var timer *time.Timer
+	var deadline <-chan time.Time
+	disarm := func() {
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+			deadline = nil
+		}
+	}
+	defer disarm()
+
+	for {
+		select {
+		case item, ok := <-pl.commitCh:
+			if !ok {
+				disarm()
+				// Stream end: a healthy pipeline certifies its final partial
+				// batch; a failed one abandons it (the blocks roll back).
+				if pl.failed.Load() && !aborted {
+					for _, it := range batch {
+						it.res.Err = pl.abortErr()
+						emit(it)
+					}
+					batch = nil
+				} else {
+					flush()
+				}
+				return
+			}
+			pl.po.queueCommit.Add(-1)
+			switch {
+			case item.res.Err != nil:
+				disarm()
+				if errors.Is(item.res.Err, ErrPipelineAborted) {
+					// Abort boundary: the enclave is being torn down (Kill),
+					// so the open batch may not take a last-gasp Ecall — it
+					// is speculation and dies with the pipeline, rolling back.
+					for _, it := range batch {
+						it.res.Err = pl.abortErr()
+						emit(it)
+					}
+					batch = batch[:0]
+				} else {
+					// Error boundary: everything before the failed block
+					// still certifies, everything from it onward aborts.
+					flush()
+				}
+				aborted = true
+				emit(item)
+			case aborted:
+				item.res.Err = pl.abortErr()
+				emit(item)
+			default:
+				batch = append(batch, item)
+				if len(batch) == 1 && pol.MaxDelay > 0 {
+					timer = time.NewTimer(pol.MaxDelay)
+					deadline = timer.C
+				}
+				if len(batch) >= pol.MaxBlocks {
+					disarm()
+					flush()
+				}
+			}
+		case <-deadline:
+			timer = nil
+			deadline = nil
+			flush()
+		}
+	}
 }
 
 // indexer fans hierarchical index certification out in parallel across the

@@ -214,6 +214,58 @@ func (p *TrustedProgram) EcallSigGen(ctx *enclave.Context, prev *chain.Block, pr
 	return ctx.Sign(BlockDigest(&blk.Header))
 }
 
+// EcallSegmentSigGen is the segment analogue of ecall_sig_gen: ONE enclave
+// entry that verifies the previous segment's certificate (or genesis),
+// verifies all K blocks of the new segment as a chained run, caches their
+// write sets, and signs the segment digest. Extending the recursion unit
+// from one block to K blocks amortizes the fixed per-Ecall cost (transition
+// + two signature operations) across K state transitions; the inductive
+// trust argument is unchanged because the previous certificate covers the
+// previous segment's digest, whose last header is exactly the block the new
+// segment's first header must extend.
+//
+// prevHeaders are the headers covered by prevCert (so their SegmentDigest is
+// prevCert's signed digest); their last element must be prev's header. For a
+// single-block segment over a single-block predecessor this is exactly
+// EcallSigGen: both digests collapse to BlockDigest, so the resulting
+// signature — and the certificate built from it — is byte-identical.
+func (p *TrustedProgram) EcallSegmentSigGen(ctx *enclave.Context, prev *chain.Block, prevHeaders []*chain.Header, prevCert *Certificate, blks []*chain.Block, proofs []*statedb.UpdateProof) ([]byte, error) {
+	if len(blks) == 0 {
+		return nil, fmt.Errorf("%w: empty segment", ErrBadSegment)
+	}
+	if len(proofs) != len(blks) {
+		return nil, fmt.Errorf("%w: %d proofs for %d blocks", ErrBadSegment, len(proofs), len(blks))
+	}
+	// Verify the recursion base: genesis, or the previous segment's
+	// certificate — which must be anchored at the claimed previous tip.
+	if prev.Header.Height == 0 {
+		if prev.Hash() != p.genesis {
+			return nil, fmt.Errorf("%w: %s", ErrGenesisMismatch, prev.Hash())
+		}
+	} else {
+		if len(prevHeaders) == 0 {
+			return nil, fmt.Errorf("%w: missing previous segment headers", ErrBadSegment)
+		}
+		if prevHeaders[len(prevHeaders)-1].Hash() != prev.Hash() {
+			return nil, fmt.Errorf("%w: previous segment does not end at claimed tip", ErrBadSegment)
+		}
+		if err := p.certVerifyT(ctx, SegmentDigest(prevHeaders), prevCert); err != nil {
+			return nil, err
+		}
+	}
+	// Verify the whole segment as a chained run of block transitions.
+	cur := prev
+	for i, blk := range blks {
+		writes, err := p.blkVerifyT(cur, blk, proofs[i])
+		if err != nil {
+			return nil, fmt.Errorf("segment block %d (height %d): %w", i, blk.Header.Height, err)
+		}
+		p.cacheWrites(blk.Hash(), writes)
+		cur = blk
+	}
+	return ctx.Sign(SegmentDigest(segmentHeaders(blks)))
+}
+
 // IndexInput bundles the per-index inputs of Alg. 4 / Alg. 5: the previous
 // index root and certificate, the claimed new root, and the update witness.
 type IndexInput struct {

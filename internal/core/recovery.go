@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"dcert/internal/attest"
+	"dcert/internal/chain"
 	"dcert/internal/chash"
 	"dcert/internal/enclave"
 	"dcert/internal/node"
@@ -117,13 +118,47 @@ func ResumeIssuer(n *node.FullNode, authority *attest.Authority, platform *attes
 	}
 	// The checkpoint came from untrusted storage: verify its certificate
 	// exactly as the enclave would a peer's (authority signature, program
-	// measurement, signature over the tip digest).
-	if err := ckpt.Cert.Verify(authority.PublicKey(), ci.Measurement(), BlockDigest(&tip.Header)); err != nil {
+	// measurement, signature over the certified digest). The certificate may
+	// cover a K-block segment ending at the tip, so recover the covered
+	// suffix first — for a single-block certificate the one-header suffix
+	// matches immediately, keeping pre-segment checkpoints valid unchanged.
+	headers, err := segmentSuffixFor(n, tip.Header.Height, ckpt.Cert.Digest)
+	if err != nil {
+		return nil, err
+	}
+	if err := ckpt.Cert.Verify(authority.PublicKey(), ci.Measurement(), SegmentDigest(headers)); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 	}
 	ci.mu.Lock()
 	ci.lastCert = ckpt.Cert
-	ci.certs[ckpt.BlockHash] = ckpt.Cert
+	for _, h := range headers {
+		ci.certs[h.Hash()] = ckpt.Cert
+	}
+	ci.recordSegmentLocked(headers, ckpt.Cert)
 	ci.mu.Unlock()
 	return ci, nil
+}
+
+// segmentSuffixFor finds the chain suffix ending at the tip whose segment
+// digest matches a checkpointed certificate's digest — i.e. which blocks the
+// certificate covers. Single-block certificates match at length 1 (their
+// segment digest IS the block digest); a certificate from a K-block segment
+// committer matches at its segment length.
+func segmentSuffixFor(n *node.FullNode, tipHeight uint64, digest chash.Hash) ([]*chain.Header, error) {
+	var suffix []*chain.Header
+	for k := 1; k <= maxSegmentBlocks; k++ {
+		h := tipHeight + 1 - uint64(k)
+		blk, err := n.Store().AtHeight(h)
+		if err != nil {
+			break // ran out of chain below the tip
+		}
+		suffix = append([]*chain.Header{&blk.Header}, suffix...)
+		if SegmentDigest(suffix) == digest {
+			return suffix, nil
+		}
+		if h == 0 {
+			break
+		}
+	}
+	return nil, fmt.Errorf("%w: certificate digest matches no chain suffix at the tip", ErrBadCheckpoint)
 }

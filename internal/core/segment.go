@@ -1,0 +1,618 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dcert/internal/chain"
+	"dcert/internal/chash"
+	"dcert/internal/consensus"
+	"dcert/internal/enclave"
+	"dcert/internal/statedb"
+)
+
+// Segment certification: amortizing the block-certification Ecall. The
+// recursive scheme of Alg. 1 pays one enclave entry per block — the dominant
+// stage of the pipeline (BENCH_pipeline.json). A segment certificate extends
+// the recursion unit from one block to K consecutive blocks: the enclave
+// verifies the previous segment's certificate once, replays all K state
+// transitions, and signs a single digest covering every header in the
+// segment. Per-block state and index roots stay inside the signed headers,
+// so query verification against a certified header is unchanged.
+//
+// K=1 is not a special mode but an identity: SegmentDigest of a single
+// header IS BlockDigest of that header, so a one-block segment certificate
+// is byte-for-byte the existing single-block certificate (golden-pinned by
+// TestSegmentK1ByteIdentity).
+//
+// On top of segments, every certificate carries an interlink — hash links to
+// the certified headers at exponentially spaced back-heights, the same
+// deterministic exponential back-structure as internal/skiplist's tower —
+// which lets a stale superlight client walk from the tip back to any trusted
+// anchor in O(log n) certificate fetches (BootstrapSublinear) instead of
+// replaying the stream. The interlink itself is NOT signed (signing it would
+// break the K=1 byte identity): it is a routing hint, and every hop is
+// verified by fetching the pointed-to segment, validating its enclave
+// signature, and comparing its own certified header hash against the
+// pointer. A forged pointer is therefore refuted by the first honest
+// segment it names; soundness reduces to the enclave-only-signs-valid-chains
+// invariant that all DCert trust rests on (DESIGN.md §15).
+
+// Segment errors.
+var (
+	// ErrBadSegment is returned for structurally invalid segment
+	// certificates (empty, broken internal linkage, digest mismatch).
+	ErrBadSegment = errors.New("core: bad segment certificate")
+	// ErrBadInterlink is returned when a bootstrap walk refutes an interlink
+	// pointer or cannot converge on the trusted anchor.
+	ErrBadInterlink = errors.New("core: bad interlink pointer")
+	// ErrSegmentUnavailable is returned when no segment covering a requested
+	// height is available from the serving issuer.
+	ErrSegmentUnavailable = errors.New("core: segment unavailable")
+)
+
+// Hard decode bounds for untrusted segment bytes: a segment never spans more
+// blocks than the deepest batching policy, and interlink levels are bounded
+// by the height space (2^64). Counts beyond these are rejected before any
+// allocation proportional to them.
+const (
+	maxSegmentBlocks   = 4096
+	maxInterlinkLevels = 64
+)
+
+// SegmentDigest is the certified digest of a K-block segment. For a single
+// header it is exactly BlockDigest — the K=1 byte identity that keeps
+// one-block segment certificates indistinguishable from the pre-segment
+// scheme. For K>1 it is a domain-separated hash over the ordered header
+// hashes.
+func SegmentDigest(headers []*chain.Header) chash.Hash {
+	if len(headers) == 1 {
+		return BlockDigest(headers[0])
+	}
+	e := chash.NewEncoder(32 + len(headers)*32)
+	e.PutString("dcert-segment-digest-v1")
+	e.PutUint32(uint32(len(headers)))
+	for _, h := range headers {
+		e.PutHash(h.Hash())
+	}
+	return chash.Sum(chash.DomainCert, e.Bytes())
+}
+
+// SegmentCert is a certified K-block segment: the covered headers (in chain
+// order), one certificate whose digest is SegmentDigest(Headers), and the
+// unsigned interlink routing hints for sublinear bootstrap. Interlink[l] is
+// the certified header hash at height Start()−2^l (level 0 duplicates the
+// first header's PrevHash and is cross-checked against it).
+type SegmentCert struct {
+	// Headers are the covered block headers, ascending, contiguous.
+	Headers []*chain.Header
+	// Cert is the enclave certificate over SegmentDigest(Headers).
+	Cert *Certificate
+	// Interlink holds certified header hashes at heights Start()−2^l.
+	Interlink []chash.Hash
+}
+
+// Start is the first covered height.
+func (s *SegmentCert) Start() uint64 { return s.Headers[0].Height }
+
+// End is the last covered height (the segment's tip).
+func (s *SegmentCert) End() uint64 { return s.Headers[len(s.Headers)-1].Height }
+
+// Tip is the last covered header.
+func (s *SegmentCert) Tip() *chain.Header { return s.Headers[len(s.Headers)-1] }
+
+// HeaderAt returns the covered header at a height (nil if out of range).
+func (s *SegmentCert) HeaderAt(height uint64) *chain.Header {
+	if len(s.Headers) == 0 || height < s.Start() || height > s.End() {
+		return nil
+	}
+	return s.Headers[height-s.Start()]
+}
+
+// Digest recomputes the segment's certified digest.
+func (s *SegmentCert) Digest() chash.Hash { return SegmentDigest(s.Headers) }
+
+// Marshal renders the segment certificate canonically.
+func (s *SegmentCert) Marshal() []byte {
+	cert := s.Cert.Marshal()
+	e := chash.NewEncoder(16 + len(s.Headers)*128 + len(cert) + len(s.Interlink)*32)
+	e.PutUint32(uint32(len(s.Headers)))
+	for _, h := range s.Headers {
+		e.PutBytes(h.Marshal())
+	}
+	e.PutBytes(cert)
+	e.PutUint32(uint32(len(s.Interlink)))
+	for _, link := range s.Interlink {
+		e.PutHash(link)
+	}
+	return e.Bytes()
+}
+
+// UnmarshalSegmentCert parses untrusted segment-certificate bytes. Count
+// fields are bounded before any count-proportional allocation: oversized
+// claims fail immediately instead of pre-allocating.
+func UnmarshalSegmentCert(raw []byte) (*SegmentCert, error) {
+	d := chash.NewDecoder(raw)
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSegment, err)
+	}
+	if n == 0 || n > maxSegmentBlocks {
+		return nil, fmt.Errorf("%w: header count %d out of range [1,%d]", ErrBadSegment, n, maxSegmentBlocks)
+	}
+	// Grow by append from a small capacity: the claimed count never sizes an
+	// allocation before the bytes backing it have been consumed.
+	headers := make([]*chain.Header, 0, min(int(n), 64))
+	for i := uint32(0); i < n; i++ {
+		hraw, err := d.ReadBytes()
+		if err != nil {
+			return nil, fmt.Errorf("%w: header %d: %v", ErrBadSegment, i, err)
+		}
+		hdr, err := chain.UnmarshalHeader(hraw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: header %d: %v", ErrBadSegment, i, err)
+		}
+		headers = append(headers, hdr)
+	}
+	certRaw, err := d.ReadBytes()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSegment, err)
+	}
+	cert, err := UnmarshalCertificate(certRaw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSegment, err)
+	}
+	ln, err := d.Uint32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSegment, err)
+	}
+	if ln > maxInterlinkLevels {
+		return nil, fmt.Errorf("%w: interlink levels %d beyond %d", ErrBadSegment, ln, maxInterlinkLevels)
+	}
+	var interlink []chash.Hash
+	for i := uint32(0); i < ln; i++ {
+		link, err := d.ReadHash()
+		if err != nil {
+			return nil, fmt.Errorf("%w: interlink %d: %v", ErrBadSegment, i, err)
+		}
+		interlink = append(interlink, link)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSegment, err)
+	}
+	return &SegmentCert{Headers: headers, Cert: cert, Interlink: interlink}, nil
+}
+
+// EncodedSize is the segment certificate's wire footprint.
+func (s *SegmentCert) EncodedSize() int { return len(s.Marshal()) }
+
+// InterlinkHeights is the deterministic back-height schedule for a segment
+// starting at height start: start−1, start−2, start−4, ... while the step
+// stays on-chain. Height 0 (genesis) participates like any other height.
+func InterlinkHeights(start uint64) []uint64 {
+	if start == 0 {
+		return nil
+	}
+	var heights []uint64
+	for step := uint64(1); step != 0 && step <= start; step <<= 1 {
+		heights = append(heights, start-step)
+	}
+	return heights
+}
+
+// SegmentPolicy is the committer's adaptive batching policy: a segment
+// closes at MaxBlocks, or MaxDelay after its first block arrived, whichever
+// comes first — steady-state throughput rides the amortization curve while
+// tip latency under slow arrival stays bounded by the deadline.
+type SegmentPolicy struct {
+	// MaxBlocks is K, the largest segment (values below 2 keep the
+	// single-block committer and its byte-identical certificates).
+	MaxBlocks int
+	// MaxDelay bounds how long a partial segment may wait for more blocks
+	// before certifying what it has (0 = wait for MaxBlocks or stream end).
+	MaxDelay time.Duration
+}
+
+// lastSegmentHeaders snapshots the headers of the issuer's newest certified
+// segment (nil before the first certificate).
+func (ci *Issuer) lastSegmentHeaders() []*chain.Header {
+	ci.mu.RLock()
+	defer ci.mu.RUnlock()
+	return ci.lastSegHeaders
+}
+
+// buildInterlink resolves the interlink schedule for a segment starting at
+// start against the issuer's own (certified) chain. Called with ci.mu held
+// or on a quiescent issuer; the store has its own lock.
+func (ci *Issuer) buildInterlink(start uint64) []chash.Hash {
+	heights := InterlinkHeights(start)
+	links := make([]chash.Hash, 0, len(heights))
+	for _, h := range heights {
+		blk, err := ci.node.Store().AtHeight(h)
+		if err != nil {
+			return nil // unreachable on a contiguous store; degrade to no hints
+		}
+		links = append(links, blk.Hash())
+	}
+	return links
+}
+
+// recordSegmentLocked appends a segment to the issuer's ordered serving
+// history (ci.mu held; the covered blocks are already in the store).
+func (ci *Issuer) recordSegmentLocked(headers []*chain.Header, cert *Certificate) *SegmentCert {
+	seg := &SegmentCert{Headers: headers, Cert: cert, Interlink: ci.buildInterlink(headers[0].Height)}
+	ci.segs = append(ci.segs, seg)
+	ci.lastSegHeaders = headers
+	return seg
+}
+
+// SegmentCovering returns the certified segment containing height, or nil if
+// the issuer holds none (heights certified before a restart are served only
+// from the resumed tip segment onward).
+func (ci *Issuer) SegmentCovering(height uint64) *SegmentCert {
+	ci.mu.RLock()
+	defer ci.mu.RUnlock()
+	segs := ci.segs
+	i := sort.Search(len(segs), func(i int) bool { return segs[i].End() >= height })
+	if i < len(segs) && segs[i].Start() <= height {
+		return segs[i]
+	}
+	return nil
+}
+
+// LatestSegment returns the issuer's newest certified segment, or nil before
+// the first certificate (or mid-certification, mirroring LatestBundle).
+func (ci *Issuer) LatestSegment() *SegmentCert {
+	ci.mu.RLock()
+	defer ci.mu.RUnlock()
+	if len(ci.segs) == 0 {
+		return nil
+	}
+	seg := ci.segs[len(ci.segs)-1]
+	if seg.End() != ci.node.Tip().Header.Height {
+		return nil
+	}
+	return seg
+}
+
+// captureUndo records the prior value of every key a block is about to
+// write, so a failed segment Ecall can restore the replica to its certified
+// state.
+func captureUndo(state *statedb.DB, blockHash chash.Hash, writes map[string][]byte) (*undoRec, error) {
+	rec := &undoRec{blockHash: blockHash, entries: make([]undoEntry, 0, len(writes))}
+	for k := range writes {
+		prior, err := state.Get([]byte(k))
+		if err != nil {
+			return nil, fmt.Errorf("core: undo capture %q: %w", k, err)
+		}
+		rec.entries = append(rec.entries, undoEntry{key: k, prior: prior, existed: prior != nil})
+	}
+	return rec, nil
+}
+
+// applyUndo restores speculative commits, newest record first.
+func applyUndo(state *statedb.DB, recs []*undoRec) {
+	for i := len(recs) - 1; i >= 0; i-- {
+		for _, e := range recs[i].entries {
+			if e.existed {
+				if err := state.Set([]byte(e.key), e.prior); err != nil {
+					panic(fmt.Sprintf("core: segment rollback %q: %v", e.key, err))
+				}
+			} else {
+				if err := state.Delete([]byte(e.key)); err != nil {
+					panic(fmt.Sprintf("core: segment rollback delete %q: %v", e.key, err))
+				}
+			}
+		}
+	}
+}
+
+// ProcessSegment certifies a contiguous run of blocks extending the CI's tip
+// with ONE enclave entry: untrusted pre-processing for every block (each
+// executed on the previous block's committed post-state), a single
+// EcallSegmentSigGen, then atomic adoption of all K blocks under the one
+// segment certificate. On any failure every speculative state commit is
+// rolled back and the replica is left exactly at its certified tip.
+func (ci *Issuer) ProcessSegment(blks []*chain.Block) (*SegmentCert, CostBreakdown, error) {
+	var bd CostBreakdown
+	if len(blks) == 0 {
+		return nil, bd, fmt.Errorf("%w: empty segment", ErrBadSegment)
+	}
+	certifyStart := time.Now()
+	prev, prevCert := ci.certifiedTip()
+	prevHeaders := ci.lastSegmentHeaders()
+
+	state := ci.node.State()
+	proofs := make([]*statedb.UpdateProof, len(blks))
+	var undo []*undoRec
+	rollback := func() { applyUndo(state, undo) }
+	for i, blk := range blks {
+		proof, res, err := ci.prepare(blk, &bd)
+		if err != nil {
+			rollback()
+			return nil, bd, err
+		}
+		rec, err := captureUndo(state, blk.Hash(), res.WriteSet)
+		if err != nil {
+			rollback()
+			return nil, bd, err
+		}
+		if _, err := state.Commit(res.WriteSet); err != nil {
+			rollback()
+			return nil, bd, fmt.Errorf("core: segment speculative commit: %w", err)
+		}
+		undo = append(undo, rec)
+		proofs[i] = proof
+	}
+
+	sig, err := ci.ecallSegmentSigGen(prev, prevHeaders, prevCert, blks, proofs, &bd)
+	if err != nil {
+		rollback()
+		return nil, bd, err
+	}
+	headers := segmentHeaders(blks)
+	cert := ci.newCert(SegmentDigest(headers), sig)
+	seg, err := ci.adoptSegment(blks, headers, cert)
+	if err != nil {
+		rollback()
+		return nil, bd, err
+	}
+	ci.met.certifySec.Observe(time.Since(certifyStart).Seconds())
+	return seg, bd, nil
+}
+
+// segmentHeaders projects a block run onto its headers.
+func segmentHeaders(blks []*chain.Block) []*chain.Header {
+	headers := make([]*chain.Header, len(blks))
+	for i := range blks {
+		headers[i] = &blks[i].Header
+	}
+	return headers
+}
+
+// ecallSegmentSigGen runs the single segment-certification Ecall. The input
+// sizing covers everything marshalled through the boundary: every block and
+// its proof, the previous segment's headers, and the previous certificate.
+func (ci *Issuer) ecallSegmentSigGen(prev *chain.Block, prevHeaders []*chain.Header, prevCert *Certificate, blks []*chain.Block, proofs []*statedb.UpdateProof, bd *CostBreakdown) ([]byte, error) {
+	size := len(prev.Header.Marshal())
+	for i := range blks {
+		size += len(blks[i].Marshal()) + proofs[i].EncodedSize()
+	}
+	for _, h := range prevHeaders {
+		size += h.EncodedSize()
+	}
+	if prevCert != nil {
+		size += prevCert.EncodedSize()
+	}
+	var sig []byte
+	before := ci.encl.Stats()
+	err := ci.encl.Ecall(size, func(ctx *enclave.Context) error {
+		var err error
+		sig, err = ci.prog.EcallSegmentSigGen(ctx, prev, prevHeaders, prevCert, blks, proofs)
+		return err
+	})
+	after := ci.encl.Stats()
+	bd.InsideExec += (after.ExecTime - before.ExecTime).Seconds()
+	bd.InsideOverhead += (after.OverheadTime - before.OverheadTime).Seconds()
+	ci.met.ecallsBlock.Inc()
+	ci.met.enclaveBlockSec.Observe((after.InsideTime() - before.InsideTime()).Seconds())
+	if err != nil {
+		return nil, fmt.Errorf("core: ecall_segment_sig_gen: %w", err)
+	}
+	return sig, nil
+}
+
+// adoptSegment appends all covered blocks and publishes the segment
+// certificate as one atomic transition (the segment-wide analogue of adopt):
+// concurrent readers see either the old tip with the old certificate or the
+// new tip with the new one — never a partially adopted segment.
+func (ci *Issuer) adoptSegment(blks []*chain.Block, headers []*chain.Header, cert *Certificate) (*SegmentCert, error) {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	for _, blk := range blks {
+		if _, err := ci.node.Store().Add(blk); err != nil {
+			return nil, fmt.Errorf("core: advance chain: %w", err)
+		}
+		ci.certs[blk.Hash()] = cert
+		ci.met.blocksCertified.Inc()
+	}
+	ci.lastCert = cert
+	ci.lastCertAt = time.Now()
+	return ci.recordSegmentLocked(headers, cert), nil
+}
+
+// ModelBootstrapFetches predicts BootstrapSublinear's fetch count for a
+// chain of chainLen blocks certified in segBlocks-block segments, walking to
+// the genesis anchor. It mirrors the client's greedy largest-hop walk
+// exactly (the regression test pins model == measured), so the 100k-block
+// point in BENCH_certify.json is honest arithmetic, not extrapolation.
+func ModelBootstrapFetches(chainLen uint64, segBlocks int) int {
+	if chainLen == 0 {
+		return 0
+	}
+	k := uint64(segBlocks)
+	if k < 1 {
+		k = 1
+	}
+	segStart := func(h uint64) uint64 { return (h-1)/k*k + 1 }
+	cur := segStart(chainLen)
+	fetches := 0
+	for cur > 1 {
+		level := interlinkHop(cur, 0, maxInterlinkLevels)
+		target := cur - (uint64(1) << uint(level))
+		cur = segStart(target)
+		fetches++
+	}
+	return fetches
+}
+
+// interlinkHop picks the greedy hop level from a segment starting at start
+// toward anchor: the largest level whose target start−2^level stays at or
+// above the anchor (and above genesis, which no segment covers), clamped to
+// the levels the interlink actually carries.
+func interlinkHop(start, anchor uint64, levels int) int {
+	lo := anchor
+	if lo == 0 {
+		lo = 1
+	}
+	best := 0
+	for l := 1; l < maxInterlinkLevels; l++ {
+		step := uint64(1) << uint(l)
+		if step > start || start-step < lo {
+			break
+		}
+		best = l
+	}
+	if levels > 0 && best >= levels {
+		best = levels - 1
+	}
+	return best
+}
+
+// SegmentFetcher retrieves the certified segment covering a height (served
+// by Issuer.SegmentCovering locally or the dcert/cert-segment wire route
+// remotely).
+type SegmentFetcher func(height uint64) (*SegmentCert, error)
+
+// verifySegment validates a segment certificate without adopting it: the
+// enclave certificate over the segment digest, per-header consensus checks,
+// internal hash/height linkage, and the level-0 interlink consistency rule.
+func (c *SuperlightClient) verifySegment(seg *SegmentCert) error {
+	if seg == nil || len(seg.Headers) == 0 {
+		return fmt.Errorf("%w: empty segment", ErrBadSegment)
+	}
+	if len(seg.Headers) > maxSegmentBlocks {
+		return fmt.Errorf("%w: %d headers beyond %d", ErrBadSegment, len(seg.Headers), maxSegmentBlocks)
+	}
+	if err := c.verifyCert(seg.Cert, SegmentDigest(seg.Headers)); err != nil {
+		return err
+	}
+	for i, hdr := range seg.Headers {
+		if hdr == nil {
+			return fmt.Errorf("%w: nil header", ErrBadSegment)
+		}
+		if err := consensus.Verify(c.params, hdr); err != nil {
+			return err
+		}
+		if i > 0 {
+			if hdr.PrevHash != seg.Headers[i-1].Hash() || hdr.Height != seg.Headers[i-1].Height+1 {
+				return fmt.Errorf("%w: linkage broken at height %d", ErrBadSegment, hdr.Height)
+			}
+		}
+	}
+	// The unsigned level-0 hint must agree with the signed PrevHash; a
+	// mismatch is a tampered interlink regardless of what it points at.
+	if len(seg.Interlink) > 0 && seg.Interlink[0] != seg.Headers[0].PrevHash {
+		return fmt.Errorf("%w: level 0 disagrees with signed PrevHash", ErrBadInterlink)
+	}
+	return nil
+}
+
+// ValidateSegment is validate_chain extended to segment certificates: verify
+// the certificate chain of trust over the segment digest, check every
+// covered header, apply the longest-chain rule on the segment's tip, and
+// adopt it.
+func (c *SuperlightClient) ValidateSegment(seg *SegmentCert) error {
+	if err := c.verifySegment(seg); err != nil {
+		return err
+	}
+	return c.adoptSegment(seg)
+}
+
+// adoptSegment applies the chain rule and adopts a verified segment's tip.
+func (c *SuperlightClient) adoptSegment(seg *SegmentCert) error {
+	tip := seg.Tip()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.latestHdr != nil && tip.Height <= c.latestHdr.Height {
+		return fmt.Errorf("%w: height %d does not extend %d", ErrChainRule, tip.Height, c.latestHdr.Height)
+	}
+	c.latestHdr = tip
+	c.latestCert = seg.Cert
+	if len(seg.Headers) > 1 {
+		c.latestSeg = seg
+	} else {
+		c.latestSeg = nil
+	}
+	return nil
+}
+
+// BootstrapSublinear brings the client current from a tip segment in
+// O(log n) certificate fetches: starting from the (fully verified) tip
+// segment, it repeatedly takes the largest interlink hop that does not
+// overshoot the trusted anchor, fetches the segment covering the hop target,
+// verifies that segment's own enclave certificate, and cross-checks its
+// certified header hash against the pointer — a forged pointer is refuted at
+// the first hop that uses it. The walk terminates when a verified segment
+// reaches the anchor height and its certified hash (or, for an anchor just
+// below a segment, the signed PrevHash) equals anchorHash; only then is the
+// tip adopted. It returns the number of fetches performed.
+//
+// anchorHeight/anchorHash are the client's trusted anchor — genesis, or any
+// previously validated tip. Each hop at least halves the remaining distance,
+// so fetches ≤ log2(tip−anchor)+1 regardless of chain length.
+func (c *SuperlightClient) BootstrapSublinear(fetch SegmentFetcher, tip *SegmentCert, anchorHeight uint64, anchorHash chash.Hash) (int, error) {
+	if err := c.verifySegment(tip); err != nil {
+		return 0, err
+	}
+	if tip.End() < anchorHeight {
+		return 0, fmt.Errorf("%w: tip height %d below anchor %d", ErrBadInterlink, tip.End(), anchorHeight)
+	}
+	fetches := 0
+	cur := tip
+	// 2 fetches per possible interlink level is far beyond any honest walk;
+	// an adversarial fetcher cannot loop the client past this.
+	for steps := 0; ; steps++ {
+		if steps > 2*maxInterlinkLevels {
+			return fetches, fmt.Errorf("%w: walk did not converge on anchor %d", ErrBadInterlink, anchorHeight)
+		}
+		start := cur.Start()
+		if start <= anchorHeight {
+			// The current segment covers the anchor height: its certified
+			// header there must BE the anchor.
+			hdr := cur.HeaderAt(anchorHeight)
+			if hdr == nil || hdr.Hash() != anchorHash {
+				return fetches, fmt.Errorf("%w: anchor at height %d refuted", ErrBadInterlink, anchorHeight)
+			}
+			break
+		}
+		if start == anchorHeight+1 {
+			// The anchor immediately precedes this segment: the signed
+			// PrevHash settles it (this is also the genesis case).
+			if cur.Headers[0].PrevHash != anchorHash {
+				return fetches, fmt.Errorf("%w: anchor at height %d refuted", ErrBadInterlink, anchorHeight)
+			}
+			break
+		}
+		level := interlinkHop(start, anchorHeight, len(cur.Interlink))
+		target := start - (uint64(1) << uint(level))
+		var expect chash.Hash
+		switch {
+		case level == 0:
+			expect = cur.Headers[0].PrevHash // signed, beats the hint
+		case level < len(cur.Interlink):
+			expect = cur.Interlink[level]
+		default:
+			return fetches, fmt.Errorf("%w: segment at %d is missing interlink level %d", ErrBadInterlink, start, level)
+		}
+		seg, err := fetch(target)
+		fetches++
+		if err != nil {
+			return fetches, err
+		}
+		if err := c.verifySegment(seg); err != nil {
+			return fetches, err
+		}
+		hdr := seg.HeaderAt(target)
+		if hdr == nil {
+			return fetches, fmt.Errorf("%w: fetched segment [%d,%d] does not cover %d", ErrBadInterlink, seg.Start(), seg.End(), target)
+		}
+		if hdr.Hash() != expect {
+			return fetches, fmt.Errorf("%w: pointer to height %d refuted by certified segment", ErrBadInterlink, target)
+		}
+		cur = seg
+	}
+	return fetches, c.adoptSegment(tip)
+}

@@ -53,6 +53,10 @@ const (
 	WireRouteBlock = "dcert/block"
 	// WireRouteQuery answers one serialized query request.
 	WireRouteQuery = "dcert/query"
+	// WireRouteCertSegment returns the certified segment covering a height
+	// (tipHeight = the newest segment) — the serving side of the interlink
+	// bootstrap walk.
+	WireRouteCertSegment = "dcert/cert-segment"
 )
 
 // tipHeight requests the best block on WireRouteBlock.
@@ -185,6 +189,26 @@ func (d *Deployment) ServeWire(cfg WireServerConfig) (*WireServer, error) {
 		}
 		return blk.Marshal(), nil
 	})
+	srv.Handle(WireRouteCertSegment, func(body []byte) ([]byte, error) {
+		dec := chash.NewDecoder(body)
+		height, err := dec.Uint64()
+		if err != nil {
+			return nil, fmt.Errorf("segment request: %w", err)
+		}
+		if err := dec.Finish(); err != nil {
+			return nil, fmt.Errorf("segment request: %w", err)
+		}
+		var seg *SegmentCert
+		if height == tipHeight {
+			seg = d.issuer.LatestSegment()
+		} else {
+			seg = d.issuer.SegmentCovering(height)
+		}
+		if seg == nil {
+			return nil, nil // empty body = no segment covering that height
+		}
+		return seg.Marshal(), nil
+	})
 	srv.Handle(WireRouteQuery, func(body []byte) ([]byte, error) {
 		// With a fleet started, wire queries route through the
 		// consistent-hash front door; otherwise the single SP answers.
@@ -245,6 +269,52 @@ func RequestBlock(c *WireClient, height uint64) (*Block, error) {
 // RequestTipBlock fetches the node's best block.
 func RequestTipBlock(c *WireClient) (*Block, error) {
 	return RequestBlock(c, tipHeight)
+}
+
+// RequestSegment fetches the certified segment covering a height (nil when
+// the node holds none for it).
+func RequestSegment(c *WireClient, height uint64) (*SegmentCert, error) {
+	e := chash.NewEncoder(8)
+	e.PutUint64(height)
+	raw, err := c.Request(WireRouteCertSegment, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	return core.UnmarshalSegmentCert(raw)
+}
+
+// RequestTipSegment fetches the node's newest certified segment.
+func RequestTipSegment(c *WireClient) (*SegmentCert, error) {
+	return RequestSegment(c, tipHeight)
+}
+
+// BootstrapSublinearOver brings a superlight client current over the wire in
+// O(log n) certificate fetches: it pulls the tip segment, then walks the
+// certificate interlink back to the trusted anchor via per-height segment
+// requests (each hop fully re-verified; see core.BootstrapSublinear). It
+// returns the total number of segment fetches, tip fetch included.
+func BootstrapSublinearOver(c *WireClient, client *SuperlightClient, anchorHeight uint64, anchorHash Hash) (int, error) {
+	tip, err := RequestTipSegment(c)
+	if err != nil {
+		return 0, err
+	}
+	if tip == nil {
+		return 1, fmt.Errorf("dcert: bootstrap: node has no certified segment")
+	}
+	fetches, err := client.BootstrapSublinear(func(height uint64) (*SegmentCert, error) {
+		seg, err := RequestSegment(c, height)
+		if err != nil {
+			return nil, err
+		}
+		if seg == nil {
+			return nil, fmt.Errorf("%w: no segment covering height %d", core.ErrSegmentUnavailable, height)
+		}
+		return seg, nil
+	}, tip, anchorHeight, anchorHash)
+	return fetches + 1, err
 }
 
 // RequestQuery runs one verifiable query over the wire's RPC path and
